@@ -1,0 +1,124 @@
+"""Figure 4: roofline models for the tiled matmul kernel.
+
+The paper shows the kernel on an Intel i5-1135G7 roofline (miniperf reports
+34.06 GFLOP/s vs Intel Advisor's 47.72 and the benchmark's self-reported
+33.0) and on the SpacemiT X60 roofline (1.58 GFLOP/s against theoretical
+roofs of 25.6 GFLOP/s compute and ~4.7 GB/s DRAM bandwidth).
+
+Reproduction criteria (shape, not absolute numbers):
+
+* the X60 roofs computed by our model match the paper's arithmetic exactly
+  (25.6 GFLOP/s and 3.16 B/cyc x 1.6 GHz);
+* on both platforms the kernel lands *well below* the attainable roof, with
+  far more headroom on the X60 than on x86 (the paper's central observation);
+* the x86 comparator achieves a much higher absolute GFLOP/s than the X60;
+* miniperf's IR-derived FLOP count equals the analytic 2*n^3 exactly, the
+  property that lets the self-reported and miniperf numbers agree in the
+  paper.
+"""
+
+import os
+
+import pytest
+
+from repro.platforms import intel_i5_1135g7, spacemit_x60
+from repro.roofline import (
+    RooflineRunner,
+    render_ascii_roofline,
+    render_svg_roofline,
+    theoretical_roofs,
+)
+from repro.workloads import MATMUL_TILED_SOURCE, matmul_args_builder
+from repro.workloads.kernels import analytic_matmul_counts
+
+#: Matrix dimension for the benchmark runs (kept modest so the IR interpreter
+#: finishes in seconds; override with MINIPERF_MATMUL_N for larger runs).
+MATMUL_N = int(os.environ.get("MINIPERF_MATMUL_N", "24"))
+
+PAPER_FIG4 = {
+    "Intel Core i5-1135G7": {"miniperf_gflops": 34.06, "advisor_gflops": 47.72,
+                             "self_reported_gflops": 33.0},
+    "SpacemiT X60": {"miniperf_gflops": 1.58, "peak_gflops": 25.6,
+                     "dram_gbps": 4.7},
+}
+
+
+def run_roofline(descriptor, n=MATMUL_N):
+    runner = RooflineRunner(descriptor)
+    result = runner.run_source(MATMUL_TILED_SOURCE, "matmul_tiled",
+                               matmul_args_builder(n), filename="matmul.c")
+    return result
+
+
+def test_fig4_x60_roofs_match_paper_arithmetic():
+    roofs = theoretical_roofs(spacemit_x60())
+    # 2 IPC x 8 SP lanes x 1.6 GHz.
+    assert roofs.peak_gflops == pytest.approx(25.6)
+    # 3.16 bytes/cycle x 1.6 GHz = 5.06 GB/s; the paper quotes "roughly 4.7".
+    assert roofs.dram_bandwidth == pytest.approx(5.056, rel=1e-3)
+    print()
+    print(roofs.describe())
+
+
+@pytest.mark.parametrize("descriptor,short", [(spacemit_x60(), "x60"),
+                                              (intel_i5_1135g7(), "i5")],
+                         ids=["x60", "i5-1135G7"])
+def test_fig4_roofline(benchmark, descriptor, short, output_dir):
+    result = benchmark.pedantic(run_roofline, args=(descriptor,),
+                                rounds=1, iterations=1)
+    model = result.model()
+    model.add_point(result.point_for_kernel())
+
+    print()
+    print(render_ascii_roofline(model))
+    paper = PAPER_FIG4[descriptor.name]
+    print(f"paper miniperf figure for this platform: "
+          f"{paper['miniperf_gflops']} GFLOP/s; reproduced: "
+          f"{result.kernel_gflops:.2f} GFLOP/s at AI "
+          f"{result.kernel_arithmetic_intensity:.3f}")
+    svg_path = os.path.join(output_dir, f"fig4_{short}_roofline.svg")
+    with open(svg_path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg_roofline(model, title=f"{descriptor.name} roofline"))
+
+    # IR-derived FLOP counts are exact.
+    total_fp = sum(loop.fp_ops for loop in result.loops)
+    assert total_fp == analytic_matmul_counts(MATMUL_N)["fp_ops"]
+
+    # The kernel must sit below the attainable roof with substantial headroom
+    # (the paper's X60 point is ~16x below the compute roof).
+    kernel_point = result.point_for_kernel()
+    attainable = model.attainable(kernel_point.arithmetic_intensity)
+    assert kernel_point.gflops < attainable
+    headroom = attainable / max(kernel_point.gflops, 1e-9)
+    compute_headroom = model.roofs.peak_gflops / max(kernel_point.gflops, 1e-9)
+    print(f"headroom below attainable roof: {headroom:.1f}x; "
+          f"below the compute roof: {compute_headroom:.1f}x")
+    if descriptor.name == "SpacemiT X60":
+        # The paper's central X60 observation: the kernel sits far below the
+        # 25.6 GFLOP/s compute roof (1.58 GFLOP/s, ~16x).  At this kernel's
+        # low arithmetic intensity it is memory-bound, so the attainable roof
+        # is much closer; require a large gap to the compute roof and any gap
+        # to the attainable one.
+        assert compute_headroom > 5.0, "the X60 point should be far below its compute roof"
+    assert result.kernel_gflops > 0
+
+
+def test_fig4_cross_platform_shape(benchmark):
+    def run_both():
+        return run_roofline(spacemit_x60()), run_roofline(intel_i5_1135g7())
+
+    x60, intel = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"matmul: X60 {x60.kernel_gflops:.2f} GFLOP/s vs "
+          f"i5 {intel.kernel_gflops:.2f} GFLOP/s "
+          f"(paper: 1.58 vs 34.06)")
+    # The x86 comparator is much faster in absolute terms...
+    assert intel.kernel_gflops > 3 * x60.kernel_gflops
+    # ...and both report the same arithmetic intensity (same IR, same counts).
+    assert x60.kernel_arithmetic_intensity == pytest.approx(
+        intel.kernel_arithmetic_intensity, rel=1e-6)
+    # Instrumentation overhead exists on both but the two-phase flow keeps the
+    # reported time from the baseline run (Section 4.4 mitigation).
+    for result in (x60, intel):
+        for loop in result.loops:
+            assert loop.instrumentation_overhead >= 1.0

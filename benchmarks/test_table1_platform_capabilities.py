@@ -1,0 +1,43 @@
+"""Table 1: comparison of available RISC-V hardware capabilities.
+
+Regenerates the paper's Table 1 from the PMU capability descriptors and
+checks every cell.
+"""
+
+from repro.pmu.vendors import all_capabilities
+from repro.toolchain.cli import _capabilities_table
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE_1 = {
+    "SiFive U74": {"Out-of-Order": "No", "RVV version": "Not supported",
+                   "Overflow interrupt support": "No", "Upstream Linux support": "Yes"},
+    "T-Head C910": {"Out-of-Order": "Yes", "RVV version": "0.7.1",
+                    "Overflow interrupt support": "Yes",
+                    "Upstream Linux support": "Partial"},
+    "SpacemiT X60": {"Out-of-Order": "No", "RVV version": "1.0",
+                     "Overflow interrupt support": "Limited",
+                     "Upstream Linux support": "No"},
+}
+
+
+def test_table1_matches_paper(benchmark):
+    capabilities = benchmark(all_capabilities)
+    for core, expected_row in PAPER_TABLE_1.items():
+        row = capabilities[core].as_row()
+        for column, expected in expected_row.items():
+            assert row[column] == expected, f"{core} / {column}"
+    print()
+    print("Table 1: Comparison of available RISC-V hardware capabilities")
+    print(_capabilities_table())
+
+
+def test_table1_capability_semantics():
+    """The capability bits must be backed by actual PMU behaviour."""
+    from repro.cpu.events import EventBus, HwEvent
+    from repro.pmu.vendors import SiFiveU74Pmu, SpacemitX60Pmu, TheadC910Pmu
+
+    assert not SiFiveU74Pmu(EventBus()).event_supports_sampling(HwEvent.CYCLES)
+    assert TheadC910Pmu(EventBus()).event_supports_sampling(HwEvent.CYCLES)
+    x60 = SpacemitX60Pmu(EventBus())
+    assert not x60.event_supports_sampling(HwEvent.CYCLES)          # "Limited"
+    assert x60.event_supports_sampling(HwEvent.U_MODE_CYCLE)         # the workaround

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The SpacemiT X60 PMU sampling workaround, step by step.
+
+Shows the raw perf_event-level mechanics the paper's Section 3.3 describes:
+
+1. the standard approach (sample cycles directly) fails with EOPNOTSUPP;
+2. making the sampling-capable ``u_mode_cycle`` vendor counter the group
+   leader lets cycles and instructions ride along in every sample;
+3. the per-sample group readouts give IPC over time.
+
+Run with:  python examples/pmu_workaround_demo.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cpu.events import HwEvent
+from repro.isa.machine_ops import MachineOp, OpClass, load
+from repro.kernel import PerfEventAttr, PerfEventOpenError, ReadFormat, SampleType
+from repro.platforms import Machine, spacemit_x60
+
+
+def run_workload(machine, task, iterations=60_000):
+    """A small loop with a mix of ALU work and loads."""
+    task.push_frame("main")
+    task.push_frame("hot_loop")
+    for i in range(iterations):
+        machine.execute(MachineOp(OpClass.INT_ALU, pc=0x1000 + (i % 32) * 4), task)
+        if i % 5 == 0:
+            machine.execute(load(8, address=(i * 8) % 16384, pc=0x2000), task)
+    task.pop_frame()
+    task.pop_frame()
+
+
+def main() -> None:
+    machine = Machine(spacemit_x60())
+    task = machine.create_task("demo")
+
+    print("== 1. the standard perf flow ==")
+    try:
+        machine.perf.perf_event_open(
+            PerfEventAttr(event=HwEvent.CYCLES, sample_period=10_000), task)
+    except PerfEventOpenError as error:
+        print(f"perf_event_open(cycles, sampling) failed: {error.errno_name}")
+        print(f"  -> {error}")
+
+    print()
+    print("== 2. the miniperf workaround ==")
+    leader = machine.perf.perf_event_open(
+        PerfEventAttr(
+            event=HwEvent.U_MODE_CYCLE,
+            sample_period=10_000,
+            sample_type=frozenset({SampleType.IP, SampleType.CALLCHAIN,
+                                   SampleType.READ}),
+            read_format=frozenset({ReadFormat.GROUP}),
+        ),
+        task,
+    )
+    machine.perf.perf_event_open(PerfEventAttr(event=HwEvent.CYCLES), task,
+                                 group_fd=leader)
+    machine.perf.perf_event_open(PerfEventAttr(event=HwEvent.INSTRUCTIONS), task,
+                                 group_fd=leader)
+    print("opened group: leader=u_mode_cycle, members=[cycles, instructions]")
+
+    machine.perf.enable(leader)
+    run_workload(machine, task)
+    machine.perf.disable(leader)
+
+    samples = machine.perf.mmap(leader).drain()
+    print(f"collected {len(samples)} samples "
+          f"(SBI ecalls used to program counters: {machine.sbi.ecall_count})")
+
+    print()
+    print("== 3. IPC over time from the group readouts ==")
+    previous = (0, 0)
+    for index, sample in enumerate(samples[:10]):
+        cycles = sample.group_values["cycles"]
+        instructions = sample.group_values["instructions"]
+        delta_c = cycles - previous[0]
+        delta_i = instructions - previous[1]
+        previous = (cycles, instructions)
+        ipc = delta_i / delta_c if delta_c else 0.0
+        stack = ";".join(reversed(sample.callchain))
+        print(f"  sample {index:2d}: +{delta_c:6d} cycles, +{delta_i:6d} instructions, "
+              f"IPC {ipc:4.2f}   [{stack}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Quickstart: identify a platform, profile a workload, print hotspots.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.platforms import spacemit_x60
+from repro.toolchain import AnalysisWorkflow
+from repro.workloads.sqlite3_like import sqlite3_like_workload
+
+
+def main() -> None:
+    # Build the SpacemiT X60 machine model (core + caches + PMU + SBI + perf).
+    workflow = AnalysisWorkflow(spacemit_x60())
+
+    # miniperf identifies the CPU from its identification registers and knows
+    # it needs the group-leader sampling workaround.
+    print(workflow.miniperf.describe())
+    print()
+
+    # Profile the sqlite3-shaped workload with sampling (the workaround is
+    # applied automatically) and print the hotspot table.
+    report = workflow.profile_synthetic(sqlite3_like_workload(), sample_period=10_000)
+    print(report.recording.describe())
+    print()
+    print(report.hotspots.format(8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Figure-3 style flame graphs for the sqlite3-shaped workload.
+
+Profiles the workload on the SpacemiT X60 and the Intel comparator, renders
+cycles- and instructions-weighted flame graphs as text, and writes SVGs next
+to this script.
+
+Run with:  python examples/sqlite_flamegraphs.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.flamegraph import build_flame_graph, render_text, render_svg
+from repro.flamegraph.render_text import render_summary
+from repro.platforms import intel_i5_1135g7, spacemit_x60
+from repro.toolchain import AnalysisWorkflow
+from repro.workloads.sqlite3_like import instruction_factor_for, sqlite3_like_workload
+
+
+def main() -> None:
+    for descriptor in (spacemit_x60(), intel_i5_1135g7()):
+        workflow = AnalysisWorkflow(descriptor)
+        report = workflow.profile_synthetic(
+            sqlite3_like_workload(),
+            sample_period=8_000,
+            instruction_factor=instruction_factor_for(descriptor.arch),
+        )
+        for metric, flame in (("cycles", report.flame_cycles),
+                              ("instructions", report.flame_instructions)):
+            print("=" * 72)
+            print(f"{descriptor.name} - {metric}")
+            print(render_text(flame, width=96))
+            print()
+            print("widest frames:")
+            print(render_summary(flame, top=5))
+            print()
+            name = descriptor.name.split()[0].lower()
+            path = os.path.join(os.path.dirname(__file__),
+                                f"flame_{name}_{metric}.svg")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render_svg(flame, title=f"{descriptor.name} ({metric})"))
+            print(f"wrote {path}")
+            print()
+
+
+if __name__ == "__main__":
+    main()

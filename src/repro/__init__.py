@@ -1,0 +1,46 @@
+"""repro: reproduction of "Dissecting RISC-V Performance" (PACT 2025).
+
+The package rebuilds, in Python, every layer the paper's methodology touches:
+the RISC-V privileged architecture and PMU hardware (with vendor quirks), the
+OpenSBI firmware and Linux ``perf_event`` software stack, an LLVM-like
+compiler with the Roofline instrumentation pass, an execution engine that
+runs compiled kernels on cycle-approximate platform models, and the
+``miniperf`` tool plus flame-graph and roofline reporting on top.
+
+Quick start::
+
+    from repro.platforms import spacemit_x60
+    from repro.toolchain import AnalysisWorkflow
+    from repro.workloads import sqlite3_like_workload
+
+    workflow = AnalysisWorkflow(spacemit_x60())
+    report = workflow.profile_synthetic(sqlite3_like_workload())
+    print(report.hotspots.format())
+"""
+
+__version__ = "1.0.0"
+
+from repro.platforms import (
+    Machine,
+    all_platforms,
+    intel_i5_1135g7,
+    platform_by_name,
+    sifive_u74,
+    spacemit_x60,
+    thead_c910,
+)
+from repro.miniperf import Miniperf
+from repro.toolchain import AnalysisWorkflow
+
+__all__ = [
+    "__version__",
+    "Machine",
+    "Miniperf",
+    "AnalysisWorkflow",
+    "all_platforms",
+    "platform_by_name",
+    "spacemit_x60",
+    "sifive_u74",
+    "thead_c910",
+    "intel_i5_1135g7",
+]

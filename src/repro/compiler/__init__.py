@@ -1,0 +1,34 @@
+"""LLVM-like compiler infrastructure.
+
+The paper's second contribution is a compiler pass that instruments loop
+nests at the IR level to count memory traffic and arithmetic operations
+without any PMU involvement.  This package provides the infrastructure that
+pass needs, built from scratch:
+
+* :mod:`repro.compiler.ir` -- a typed, SSA-style intermediate representation
+  with a builder, textual printer/parser and verifier.
+* :mod:`repro.compiler.analysis` -- CFG utilities, dominators, natural-loop
+  detection (LoopInfo) and single-entry/single-exit region analysis
+  (RegionInfo).
+* :mod:`repro.compiler.transforms` -- the pass manager, cleanup passes, the
+  loop vectorisation annotator, the CodeExtractor outliner and the
+  Roofline instrumentation pass itself.
+* :mod:`repro.compiler.frontend` -- a small C-like kernel language (lexer,
+  parser, semantic analysis, IR code generation) so the paper's tiled matmul
+  kernel can be compiled from source text.
+* :mod:`repro.compiler.targets` -- per-target lowering cost models (RV64GC,
+  RV64GCV, x86-64 AVX2) used by the execution engine.
+"""
+
+from repro.compiler.ir.module import Module, Function, BasicBlock
+from repro.compiler.ir.builder import IRBuilder
+from repro.compiler.ir.verifier import verify_module, VerificationError
+
+__all__ = [
+    "Module",
+    "Function",
+    "BasicBlock",
+    "IRBuilder",
+    "verify_module",
+    "VerificationError",
+]

@@ -1,0 +1,23 @@
+"""Analyses: CFG utilities, dominators, natural loops, SESE regions."""
+
+from repro.compiler.analysis.cfg import (
+    predecessors,
+    successors,
+    reverse_postorder,
+    reachable_blocks,
+)
+from repro.compiler.analysis.dominators import DominatorTree
+from repro.compiler.analysis.loops import Loop, LoopInfo
+from repro.compiler.analysis.regions import Region, RegionInfo
+
+__all__ = [
+    "predecessors",
+    "successors",
+    "reverse_postorder",
+    "reachable_blocks",
+    "DominatorTree",
+    "Loop",
+    "LoopInfo",
+    "Region",
+    "RegionInfo",
+]

@@ -1,0 +1,68 @@
+"""Control-flow graph utilities."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.compiler.ir.module import BasicBlock, Function
+
+
+def successors(block: BasicBlock) -> List[BasicBlock]:
+    """Successor blocks of *block* (order follows the terminator)."""
+    return block.successors()
+
+
+def predecessors(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map every block of *function* to its predecessor list."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            if succ in preds:
+                preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(function: Function) -> Set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    if function.is_declaration:
+        return set()
+    seen: Set[BasicBlock] = set()
+    stack = [function.entry_block]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        stack.extend(block.successors())
+    return seen
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder of a DFS from the entry block.
+
+    Reverse postorder visits every block before its successors (except along
+    back edges), which is the order dominator computation wants.
+    """
+    if function.is_declaration:
+        return []
+    visited: Set[BasicBlock] = set()
+    postorder: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors()))]
+        visited.add(block)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    visit(function.entry_block)
+    return list(reversed(postorder))

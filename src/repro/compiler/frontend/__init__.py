@@ -1,0 +1,30 @@
+"""KernelC frontend: a small C-like language for writing computational kernels.
+
+The paper's example kernel (the tiled matmul of Section 5.2) is ordinary C.
+To exercise the full pipeline -- source -> IR -> loop analysis ->
+instrumentation -> execution -- this package provides a compact C-like
+language with the features that kernel (and the other workloads) need:
+``int``/``long``/``float``/``double`` scalars, pointers, arrays-as-pointers,
+``for``/``while``/``if``, compound assignment, function calls and casts.
+
+The public entry point is :func:`compile_source`.
+"""
+
+from repro.compiler.frontend.lexer import Lexer, Token, TokenKind, LexerError
+from repro.compiler.frontend.parser import Parser, ParseError
+from repro.compiler.frontend.sema import SemanticAnalyzer, SemanticError
+from repro.compiler.frontend.codegen import CodeGenerator
+from repro.compiler.frontend.driver import compile_source
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "LexerError",
+    "Parser",
+    "ParseError",
+    "SemanticAnalyzer",
+    "SemanticError",
+    "CodeGenerator",
+    "compile_source",
+]

@@ -1,0 +1,178 @@
+"""KernelC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    """Base class; every node carries its source position."""
+
+    line: int = 0
+    column: int = 0
+
+
+# -- types (syntactic) -------------------------------------------------------------
+
+
+@dataclass
+class TypeName(Node):
+    """A type as written in source: base name plus pointer depth."""
+
+    name: str = "int"
+    pointer_depth: int = 0
+
+    def __str__(self) -> str:
+        return self.name + "*" * self.pointer_depth
+
+
+# -- expressions --------------------------------------------------------------------
+
+
+@dataclass
+class Expression(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expression):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expression):
+    value: float = 0.0
+    is_double: bool = False
+
+
+@dataclass
+class Identifier(Expression):
+    name: str = ""
+
+
+@dataclass
+class BinaryExpr(Expression):
+    op: str = "+"
+    lhs: Optional[Expression] = None
+    rhs: Optional[Expression] = None
+
+
+@dataclass
+class UnaryExpr(Expression):
+    op: str = "-"
+    operand: Optional[Expression] = None
+
+
+@dataclass
+class IndexExpr(Expression):
+    """Array subscription ``base[index]``."""
+
+    base: Optional[Expression] = None
+    index: Optional[Expression] = None
+
+
+@dataclass
+class CallExpr(Expression):
+    callee: str = ""
+    args: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class CastExpr(Expression):
+    target_type: Optional[TypeName] = None
+    operand: Optional[Expression] = None
+
+
+# -- statements ------------------------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    pass
+
+
+@dataclass
+class Block(Statement):
+    statements: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Declaration(Statement):
+    type_name: Optional[TypeName] = None
+    name: str = ""
+    initializer: Optional[Expression] = None
+
+
+@dataclass
+class Assignment(Statement):
+    """``target op target_expr`` where op is '=', '+=', '-=', '*=', '/='."""
+
+    target: Optional[Expression] = None        # Identifier or IndexExpr
+    op: str = "="
+    value: Optional[Expression] = None
+
+
+@dataclass
+class ExpressionStatement(Statement):
+    expression: Optional[Expression] = None
+
+
+@dataclass
+class IfStatement(Statement):
+    condition: Optional[Expression] = None
+    then_body: Optional[Statement] = None
+    else_body: Optional[Statement] = None
+
+
+@dataclass
+class ForStatement(Statement):
+    init: Optional[Statement] = None            # Declaration or Assignment
+    condition: Optional[Expression] = None
+    increment: Optional[Statement] = None        # Assignment
+    body: Optional[Statement] = None
+
+
+@dataclass
+class WhileStatement(Statement):
+    condition: Optional[Expression] = None
+    body: Optional[Statement] = None
+
+
+@dataclass
+class ReturnStatement(Statement):
+    value: Optional[Expression] = None
+
+
+@dataclass
+class BreakStatement(Statement):
+    pass
+
+
+@dataclass
+class ContinueStatement(Statement):
+    pass
+
+
+# -- top level -----------------------------------------------------------------------------
+
+
+@dataclass
+class Parameter(Node):
+    type_name: Optional[TypeName] = None
+    name: str = ""
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: Optional[TypeName] = None
+    name: str = ""
+    parameters: List[Parameter] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    filename: str = "<source>"
+    functions: List[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,57 @@
+"""The intermediate representation: types, values, instructions, modules."""
+
+from repro.compiler.ir import types
+from repro.compiler.ir.types import (
+    Type,
+    VoidType,
+    IntType,
+    FloatType,
+    PointerType,
+    VectorType,
+    FunctionType,
+    VOID,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F32,
+    F64,
+    PTR,
+)
+from repro.compiler.ir.values import Value, Constant, Argument, UndefValue
+from repro.compiler.ir.instructions import (
+    Instruction,
+    BinaryOp,
+    CompareOp,
+    Load,
+    Store,
+    Alloca,
+    GetElementPtr,
+    Branch,
+    Jump,
+    Ret,
+    Call,
+    Phi,
+    Cast,
+    Select,
+)
+from repro.compiler.ir.module import Module, Function, BasicBlock
+from repro.compiler.ir.builder import IRBuilder
+from repro.compiler.ir.printer import print_module, print_function
+from repro.compiler.ir.parser import parse_module, IRParseError
+from repro.compiler.ir.verifier import verify_module, verify_function, VerificationError
+
+__all__ = [
+    "types",
+    "Type", "VoidType", "IntType", "FloatType", "PointerType", "VectorType",
+    "FunctionType",
+    "VOID", "I1", "I8", "I16", "I32", "I64", "F32", "F64", "PTR",
+    "Value", "Constant", "Argument", "UndefValue",
+    "Instruction", "BinaryOp", "CompareOp", "Load", "Store", "Alloca",
+    "GetElementPtr", "Branch", "Jump", "Ret", "Call", "Phi", "Cast", "Select",
+    "Module", "Function", "BasicBlock", "IRBuilder",
+    "print_module", "print_function",
+    "parse_module", "IRParseError",
+    "verify_module", "verify_function", "VerificationError",
+]

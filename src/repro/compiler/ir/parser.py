@@ -1,0 +1,428 @@
+"""Parser for the textual IR produced by :mod:`repro.compiler.ir.printer`.
+
+The parser is used by tests (round-trip properties), by the examples (so IR
+can be stored as text fixtures) and by the CLI (``miniperf roofline
+--ir file.ll``).  It performs two passes per function: first it creates every
+basic block (so forward branch references resolve), then it parses the
+instructions, deferring phi-incoming value resolution to the end of the
+function since phis may reference values defined later.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ir.instructions import (
+    Alloca,
+    BINARY_OPS,
+    BinaryOp,
+    Branch,
+    Call,
+    CAST_OPS,
+    Cast,
+    CompareOp,
+    GetElementPtr,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.compiler.ir.module import BasicBlock, Function, Module
+from repro.compiler.ir.types import (
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VOID,
+    named_type,
+)
+from repro.compiler.ir.values import Constant, Value
+
+
+class IRParseError(Exception):
+    """Raised on malformed textual IR."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        location = f" (line {line_number}: {line.strip()!r})" if line_number else ""
+        super().__init__(message + location)
+        self.line_number = line_number
+
+
+_DEFINE_RE = re.compile(
+    r"^define\s+(?P<ret>.+?)\s+@(?P<name>[\w.$-]+)\s*\((?P<params>.*)\)\s*\{$"
+)
+_DECLARE_RE = re.compile(
+    r"^declare\s+(?P<ret>.+?)\s+@(?P<name>[\w.$-]+)\s*\((?P<params>.*)\)$"
+)
+_LABEL_RE = re.compile(r"^(?P<name>[\w.$-]+):$")
+_ASSIGN_RE = re.compile(r"^%(?P<name>[\w.$-]+)\s*=\s*(?P<rest>.+)$")
+
+
+def _parse_type(text: str) -> Type:
+    """Parse a type string such as ``i64``, ``float*``, ``<8 x float>*``."""
+    text = text.strip()
+    pointer_depth = 0
+    while text.endswith("*"):
+        pointer_depth += 1
+        text = text[:-1].strip()
+    if text.startswith("<") and text.endswith(">"):
+        inner = text[1:-1]
+        match = re.match(r"^\s*(\d+)\s*x\s*(.+)$", inner)
+        if not match:
+            raise IRParseError(f"malformed vector type {text!r}")
+        base: Type = VectorType(_parse_type(match.group(2)), int(match.group(1)))
+    else:
+        named = named_type(text)
+        if named is None:
+            raise IRParseError(f"unknown type {text!r}")
+        base = named
+    for _ in range(pointer_depth):
+        base = PointerType(base)
+    return base
+
+
+def _split_commas(text: str) -> List[str]:
+    """Split on top-level commas (ignoring commas inside <> and [])."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "<[(":
+            depth += 1
+        elif char in ">])":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class _FunctionParser:
+    """Parses the body of one ``define``."""
+
+    def __init__(self, function: Function, lines: List[Tuple[int, str]]):
+        self.function = function
+        self.lines = lines
+        self.values: Dict[str, Value] = {arg.name: arg for arg in function.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        #: Deferred phi incoming entries: (phi, value_text, value_type, block_name).
+        self._pending_phis: List[Tuple[Phi, str, Type, str]] = []
+
+    # -- operand resolution -------------------------------------------------------
+
+    def _resolve(self, text: str, type_: Type, line_number: int) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            value = self.values.get(name)
+            if value is None:
+                raise IRParseError(f"use of undefined value %{name}", line_number, text)
+            return value
+        # Constant literal.
+        if isinstance(type_, FloatType):
+            return Constant(type_, float(text))
+        if isinstance(type_, IntType):
+            return Constant(type_, int(text, 0))
+        if isinstance(type_, PointerType) and text in ("null", "0"):
+            return Constant(IntType(64), 0)
+        raise IRParseError(
+            f"cannot parse constant {text!r} of type {type_}", line_number, text
+        )
+
+    def _typed_operand(self, text: str, line_number: int) -> Tuple[Type, Value]:
+        text = text.strip()
+        match = re.match(r"^(?P<type>[^%]+?)\s+(?P<val>[%\-\w.$][\w.$%\-+e]*)$", text)
+        if not match:
+            raise IRParseError(f"malformed typed operand {text!r}", line_number, text)
+        type_ = _parse_type(match.group("type"))
+        return type_, self._resolve(match.group("val"), type_, line_number)
+
+    def _define_value(self, name: str, value: Value, line_number: int) -> None:
+        if name in self.values:
+            raise IRParseError(f"redefinition of %{name}", line_number)
+        value.name = name
+        self.values[name] = value
+
+    def _block(self, name: str, line_number: int) -> BasicBlock:
+        block = self.blocks.get(name)
+        if block is None:
+            raise IRParseError(f"reference to unknown block %{name}", line_number)
+        return block
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def parse(self) -> None:
+        # Pass 1: create all blocks.
+        current: Optional[str] = None
+        block_lines: Dict[str, List[Tuple[int, str]]] = {}
+        order: List[str] = []
+        for line_number, line in self.lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith(";"):
+                continue
+            label = _LABEL_RE.match(stripped)
+            if label:
+                current = label.group("name")
+                if current in block_lines:
+                    raise IRParseError(f"duplicate block label {current}", line_number)
+                block_lines[current] = []
+                order.append(current)
+                continue
+            if current is None:
+                raise IRParseError("instruction before first block label", line_number, line)
+            block_lines[current].append((line_number, stripped))
+
+        for name in order:
+            block = self.function.add_block(name)
+            self.blocks[name] = block
+
+        # Pass 2: parse instructions.
+        for name in order:
+            block = self.blocks[name]
+            for line_number, text in block_lines[name]:
+                self._parse_instruction(block, text, line_number)
+
+        # Pass 3: resolve deferred phi incomings.
+        for phi, value_text, type_, block_name in self._pending_phis:
+            value = self._resolve(value_text, type_, 0)
+            phi.add_incoming(value, self._block(block_name, 0))
+
+    # -- individual instructions -----------------------------------------------------------
+
+    def _parse_instruction(self, block: BasicBlock, text: str, line_number: int) -> None:
+        assign = _ASSIGN_RE.match(text)
+        result_name: Optional[str] = None
+        body = text
+        if assign:
+            result_name = assign.group("name")
+            body = assign.group("rest").strip()
+
+        inst = self._build(body, result_name, line_number)
+        if inst is None:
+            return
+        if result_name is not None and not inst.type.is_void:
+            self._define_value(result_name, inst, line_number)
+        if isinstance(inst, Phi):
+            block.insert(len(block.phis()), inst)
+            inst.parent = block
+        else:
+            block.append(inst)
+
+    def _build(self, body: str, result_name: Optional[str], line_number: int):
+        opcode = body.split(None, 1)[0]
+
+        if opcode in BINARY_OPS:
+            rest = body[len(opcode):].strip()
+            parts = _split_commas(rest)
+            if len(parts) != 2:
+                raise IRParseError("binary op expects two operands", line_number, body)
+            type_text, lhs_text = parts[0].rsplit(" ", 1)
+            type_ = _parse_type(type_text)
+            lhs = self._resolve(lhs_text, type_, line_number)
+            rhs = self._resolve(parts[1], type_, line_number)
+            return BinaryOp(opcode, lhs, rhs)
+
+        if opcode in ("icmp", "fcmp"):
+            match = re.match(
+                rf"^{opcode}\s+(?P<pred>\w+)\s+(?P<type>\S+(?:\s*\*+)?)\s+"
+                r"(?P<lhs>\S+),\s*(?P<rhs>\S+)$", body)
+            if not match:
+                raise IRParseError(f"malformed {opcode}", line_number, body)
+            type_ = _parse_type(match.group("type"))
+            lhs = self._resolve(match.group("lhs"), type_, line_number)
+            rhs = self._resolve(match.group("rhs"), type_, line_number)
+            return CompareOp(opcode, match.group("pred"), lhs, rhs)
+
+        if opcode == "load":
+            rest = body[len("load"):].strip()
+            parts = _split_commas(rest)
+            if len(parts) != 2:
+                raise IRParseError("load expects '<type>, <typed pointer>'", line_number, body)
+            _, pointer = self._typed_operand(parts[1], line_number)
+            return Load(pointer)
+
+        if opcode == "store":
+            rest = body[len("store"):].strip()
+            parts = _split_commas(rest)
+            if len(parts) != 2:
+                raise IRParseError("store expects two typed operands", line_number, body)
+            _, value = self._typed_operand(parts[0], line_number)
+            _, pointer = self._typed_operand(parts[1], line_number)
+            return Store(value, pointer)
+
+        if opcode == "alloca":
+            rest = body[len("alloca"):].strip()
+            parts = _split_commas(rest)
+            type_ = _parse_type(parts[0])
+            count = int(parts[1]) if len(parts) > 1 else 1
+            return Alloca(type_, count)
+
+        if opcode == "getelementptr":
+            rest = body[len("getelementptr"):].strip()
+            parts = _split_commas(rest)
+            if len(parts) != 3:
+                raise IRParseError(
+                    "getelementptr expects '<elem type>, <typed base>, <typed index>'",
+                    line_number, body)
+            _, base = self._typed_operand(parts[1], line_number)
+            _, index = self._typed_operand(parts[2], line_number)
+            return GetElementPtr(base, index)
+
+        if opcode == "br":
+            match = re.match(
+                r"^br\s+i1\s+(?P<cond>\S+),\s*label\s+%(?P<then>[\w.$-]+),"
+                r"\s*label\s+%(?P<else>[\w.$-]+)$", body)
+            if not match:
+                raise IRParseError("malformed br", line_number, body)
+            cond = self._resolve(match.group("cond"), IntType(1), line_number)
+            return Branch(cond, self._block(match.group("then"), line_number),
+                          self._block(match.group("else"), line_number))
+
+        if opcode == "jmp":
+            match = re.match(r"^jmp\s+label\s+%(?P<target>[\w.$-]+)$", body)
+            if not match:
+                raise IRParseError("malformed jmp", line_number, body)
+            return Jump(self._block(match.group("target"), line_number))
+
+        if opcode == "ret":
+            rest = body[len("ret"):].strip()
+            if rest == "void":
+                return Ret(None)
+            _, value = self._typed_operand(rest, line_number)
+            return Ret(value)
+
+        if opcode == "call":
+            match = re.match(
+                r"^call\s+(?P<ret>.+?)\s+@(?P<callee>[\w.$-]+)\s*\((?P<args>.*)\)$",
+                body)
+            if not match:
+                raise IRParseError("malformed call", line_number, body)
+            return_type = (
+                VOID if match.group("ret").strip() == "void"
+                else _parse_type(match.group("ret"))
+            )
+            args: List[Value] = []
+            arg_text = match.group("args").strip()
+            if arg_text:
+                for part in _split_commas(arg_text):
+                    _, value = self._typed_operand(part, line_number)
+                    args.append(value)
+            module = self.function.parent
+            callee: object = match.group("callee")
+            if module is not None and module.has_function(match.group("callee")):
+                callee = module.get_function(match.group("callee"))
+            return Call(callee, args, return_type)
+
+        if opcode == "phi":
+            match = re.match(r"^phi\s+(?P<type>\S+(?:\s*\*+)?)\s+(?P<rest>.+)$", body)
+            if not match:
+                raise IRParseError("malformed phi", line_number, body)
+            type_ = _parse_type(match.group("type"))
+            phi = Phi(type_)
+            for pair in re.finditer(
+                r"\[\s*(?P<val>[^,\]]+)\s*,\s*%(?P<block>[\w.$-]+)\s*\]",
+                match.group("rest"),
+            ):
+                self._pending_phis.append(
+                    (phi, pair.group("val").strip(), type_, pair.group("block"))
+                )
+            return phi
+
+        if opcode in CAST_OPS:
+            match = re.match(
+                rf"^{opcode}\s+(?P<from>.+?)\s+(?P<val>\S+)\s+to\s+(?P<to>.+)$", body)
+            if not match:
+                raise IRParseError(f"malformed {opcode}", line_number, body)
+            from_type = _parse_type(match.group("from"))
+            value = self._resolve(match.group("val"), from_type, line_number)
+            return Cast(opcode, value, _parse_type(match.group("to")))
+
+        if opcode == "select":
+            rest = body[len("select"):].strip()
+            parts = _split_commas(rest)
+            if len(parts) != 3:
+                raise IRParseError("malformed select", line_number, body)
+            cond_match = re.match(r"^i1\s+(\S+)$", parts[0])
+            if not cond_match:
+                raise IRParseError("select condition must be i1", line_number, body)
+            cond = self._resolve(cond_match.group(1), IntType(1), line_number)
+            _, true_value = self._typed_operand(parts[1], line_number)
+            _, false_value = self._typed_operand(parts[2], line_number)
+            return Select(cond, true_value, false_value)
+
+        raise IRParseError(f"unknown instruction opcode {opcode!r}", line_number, body)
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse a full module from text."""
+    module = Module(name)
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        raw = lines[i]
+        stripped = raw.strip()
+        i += 1
+        if not stripped or stripped.startswith(";"):
+            match = re.match(r'^;\s*module\s*=\s*"(?P<name>[^"]+)"', stripped)
+            if match:
+                module.name = match.group("name")
+            continue
+
+        declare = _DECLARE_RE.match(stripped)
+        if declare:
+            return_type = (
+                VOID if declare.group("ret").strip() == "void"
+                else _parse_type(declare.group("ret"))
+            )
+            param_types = [
+                _parse_type(p) for p in _split_commas(declare.group("params")) if p
+            ]
+            module.declare_function(
+                declare.group("name"), FunctionType(return_type, param_types)
+            )
+            continue
+
+        define = _DEFINE_RE.match(stripped)
+        if define:
+            return_type = (
+                VOID if define.group("ret").strip() == "void"
+                else _parse_type(define.group("ret"))
+            )
+            param_types: List[Type] = []
+            arg_names: List[str] = []
+            params_text = define.group("params").strip()
+            if params_text:
+                for part in _split_commas(params_text):
+                    match = re.match(r"^(?P<type>.+?)\s+%(?P<name>[\w.$-]+)$", part)
+                    if not match:
+                        raise IRParseError(f"malformed parameter {part!r}", i)
+                    param_types.append(_parse_type(match.group("type")))
+                    arg_names.append(match.group("name"))
+            function = module.create_function(
+                define.group("name"), FunctionType(return_type, param_types), arg_names
+            )
+            # Collect body lines until the closing brace.
+            body: List[Tuple[int, str]] = []
+            while i < len(lines):
+                body_line = lines[i]
+                i += 1
+                if body_line.strip() == "}":
+                    break
+                body.append((i, body_line))
+            else:
+                raise IRParseError(f"unterminated function @{function.name}", i)
+            _FunctionParser(function, body).parse()
+            continue
+
+        raise IRParseError(f"unexpected top-level line: {stripped!r}", i, stripped)
+    return module

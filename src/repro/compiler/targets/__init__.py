@@ -1,0 +1,23 @@
+"""Target lowerings: how IR operations become machine operations.
+
+The execution engine interprets IR for its *semantics* and asks a target
+lowering what the operation costs on a given ISA: how many machine ops, of
+what class, over how many vector lanes.  This is where ``-march=rv64gcv``
+versus ``-mavx2`` (the paper's Section 5.2 build flags) becomes a modelling
+difference.
+"""
+
+from repro.compiler.targets.base import TargetLowering
+from repro.compiler.targets.riscv import RV64GCTarget, RV64GCVTarget
+from repro.compiler.targets.x86 import X86AVX2Target, X86ScalarTarget
+from repro.compiler.targets.registry import target_for_platform, target_by_name
+
+__all__ = [
+    "TargetLowering",
+    "RV64GCTarget",
+    "RV64GCVTarget",
+    "X86AVX2Target",
+    "X86ScalarTarget",
+    "target_for_platform",
+    "target_by_name",
+]

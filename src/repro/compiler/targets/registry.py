@@ -1,0 +1,41 @@
+"""Target selection helpers."""
+
+from __future__ import annotations
+
+from repro.compiler.targets.base import TargetLowering
+from repro.compiler.targets.riscv import RV64GCTarget, RV64GCVTarget
+from repro.compiler.targets.x86 import X86AVX2Target, X86ScalarTarget
+from repro.platforms.descriptors import PlatformDescriptor
+
+_BY_NAME = {
+    "rv64gc": RV64GCTarget,
+    "rv64gcv": RV64GCVTarget,
+    "x86-64": X86ScalarTarget,
+    "x86-64-v3": X86AVX2Target,
+    "avx2": X86AVX2Target,
+}
+
+
+def target_by_name(name: str) -> TargetLowering:
+    """Build a target lowering from a ``-march``-style string."""
+    key = name.lower()
+    if key in _BY_NAME:
+        return _BY_NAME[key]()
+    if key.startswith("rv64") and "v" in key[4:]:
+        return RV64GCVTarget()
+    if key.startswith("rv64"):
+        return RV64GCTarget()
+    if key.startswith("x86"):
+        return X86AVX2Target()
+    raise KeyError(f"unknown target {name!r}; known: {', '.join(sorted(_BY_NAME))}")
+
+
+def target_for_platform(descriptor: PlatformDescriptor) -> TargetLowering:
+    """The lowering the paper's build flags imply for each platform."""
+    if descriptor.arch == "x86_64":
+        if descriptor.vector.supported:
+            return X86AVX2Target()
+        return X86ScalarTarget()
+    if descriptor.vector.supported:
+        return RV64GCVTarget(vlen_bits=descriptor.vector.vlen_bits)
+    return RV64GCTarget()

@@ -1,0 +1,40 @@
+"""RISC-V target lowerings."""
+
+from __future__ import annotations
+
+from repro.compiler.targets.base import TargetLowering
+
+
+class RV64GCTarget(TargetLowering):
+    """Scalar RV64GC: no vector unit (the SiFive U74 build).
+
+    Address generation needs explicit shift+add instructions, and vector
+    annotations are ignored -- every operation retires as a scalar op.
+    """
+
+    name = "riscv64-rv64gc"
+    march = "rv64gc"
+    vector_sp_lanes = 1
+    supports_vector = False
+    address_gen_ops = 2
+    call_overhead_ops = 2
+
+
+class RV64GCVTarget(TargetLowering):
+    """RV64GCV: RVV 1.0 with a configurable VLEN (the SpacemiT X60 build).
+
+    The paper compiles with ``-march=rv64gcv``; with a 256-bit VLEN and
+    32-bit elements a vector instruction covers 8 single-precision lanes.
+    """
+
+    name = "riscv64-rv64gcv"
+    march = "rv64gcv"
+    supports_vector = True
+    address_gen_ops = 2
+    call_overhead_ops = 2
+
+    def __init__(self, vlen_bits: int = 256):
+        if vlen_bits <= 0 or vlen_bits % 32 != 0:
+            raise ValueError("vlen_bits must be a positive multiple of 32")
+        self.vlen_bits = vlen_bits
+        self.vector_sp_lanes = vlen_bits // 32

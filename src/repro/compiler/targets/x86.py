@@ -1,0 +1,28 @@
+"""x86-64 target lowerings (the paper's comparator platform)."""
+
+from __future__ import annotations
+
+from repro.compiler.targets.base import TargetLowering
+
+
+class X86ScalarTarget(TargetLowering):
+    """x86-64 without vector extensions enabled (``-mno-sse``-ish baseline)."""
+
+    name = "x86_64-scalar"
+    march = "x86-64"
+    vector_sp_lanes = 1
+    supports_vector = False
+    # Complex addressing modes fold the address arithmetic into the memory op.
+    address_gen_ops = 0
+    call_overhead_ops = 1
+
+
+class X86AVX2Target(TargetLowering):
+    """x86-64 with AVX2 (``-mavx2``): 256-bit vectors, folded addressing."""
+
+    name = "x86_64-avx2"
+    march = "x86-64-v3"
+    vector_sp_lanes = 8
+    supports_vector = True
+    address_gen_ops = 0
+    call_overhead_ops = 1

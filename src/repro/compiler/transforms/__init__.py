@@ -1,0 +1,63 @@
+"""Transformation passes.
+
+The pipeline the toolchain runs (mirroring the paper's "apply our pass late
+in the optimization pipeline" guidance):
+
+1. cleanup (constant folding, DCE, CFG simplification),
+2. loop vectorisation annotation (the cost-model stand-in for LLVM's
+   vectoriser),
+3. Roofline instrumentation (outline SESE loop nests, clone, insert counting
+   and runtime notification calls).
+"""
+
+from repro.compiler.transforms.pass_manager import (
+    FunctionPass,
+    ModulePass,
+    PassManager,
+    PassResult,
+)
+from repro.compiler.transforms.constfold import ConstantFoldPass
+from repro.compiler.transforms.dce import DeadCodeEliminationPass
+from repro.compiler.transforms.simplifycfg import SimplifyCfgPass
+from repro.compiler.transforms.cloning import clone_function
+from repro.compiler.transforms.regpromote import PromoteScalarsPass, REG_PROMOTED_KEY
+from repro.compiler.transforms.vectorize import LoopVectorizePass
+from repro.compiler.transforms.extractor import CodeExtractor, ExtractionResult
+from repro.compiler.transforms.roofline_pass import (
+    RooflineInstrumentationPass,
+    LoopDescriptor,
+    MPERF_LOOPS_KEY,
+    RUNTIME_NOTIFY_BEGIN,
+    RUNTIME_NOTIFY_END,
+    RUNTIME_IS_INSTRUMENTED,
+    RUNTIME_BLOCK_EXEC,
+)
+from repro.compiler.transforms.pipeline import (
+    default_optimization_pipeline,
+    build_roofline_pipeline,
+)
+
+__all__ = [
+    "FunctionPass",
+    "ModulePass",
+    "PassManager",
+    "PassResult",
+    "ConstantFoldPass",
+    "DeadCodeEliminationPass",
+    "SimplifyCfgPass",
+    "clone_function",
+    "PromoteScalarsPass",
+    "REG_PROMOTED_KEY",
+    "LoopVectorizePass",
+    "CodeExtractor",
+    "ExtractionResult",
+    "RooflineInstrumentationPass",
+    "LoopDescriptor",
+    "MPERF_LOOPS_KEY",
+    "RUNTIME_NOTIFY_BEGIN",
+    "RUNTIME_NOTIFY_END",
+    "RUNTIME_IS_INSTRUMENTED",
+    "RUNTIME_BLOCK_EXEC",
+    "default_optimization_pipeline",
+    "build_roofline_pipeline",
+]

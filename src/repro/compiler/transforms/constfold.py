@@ -1,0 +1,168 @@
+"""Constant folding.
+
+Folds binary operations, comparisons and casts whose operands are all
+constants.  Besides being a standard cleanup, it keeps the instrumentation's
+static per-block operation counts honest: a ``mul i64 8, 4`` the backend
+would fold away should not be counted as work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.compiler.ir.instructions import (
+    BinaryOp,
+    Cast,
+    CompareOp,
+    Instruction,
+    Select,
+)
+from repro.compiler.ir.module import Function
+from repro.compiler.ir.types import FloatType, IntType
+from repro.compiler.ir.values import Constant, Value
+from repro.compiler.transforms.pass_manager import FunctionPass
+
+
+def _fold_int_binary(opcode: str, a: int, b: int, type_: IntType) -> Optional[int]:
+    if opcode == "add":
+        return a + b
+    if opcode == "sub":
+        return a - b
+    if opcode == "mul":
+        return a * b
+    if opcode in ("sdiv", "udiv"):
+        if b == 0:
+            return None
+        result = abs(a) // abs(b)
+        return -result if (a < 0) != (b < 0) else result
+    if opcode in ("srem", "urem"):
+        if b == 0:
+            return None
+        return a - b * (abs(a) // abs(b)) * (1 if (a < 0) == (b < 0) else -1)
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return a << (b % type_.bits)
+    if opcode == "lshr":
+        mask = (1 << type_.bits) - 1
+        return (a & mask) >> (b % type_.bits)
+    if opcode == "ashr":
+        return a >> (b % type_.bits)
+    return None
+
+
+def _fold_fp_binary(opcode: str, a: float, b: float) -> Optional[float]:
+    try:
+        if opcode == "fadd":
+            return a + b
+        if opcode == "fsub":
+            return a - b
+        if opcode == "fmul":
+            return a * b
+        if opcode == "fdiv":
+            return a / b if b != 0.0 else None
+        if opcode == "frem":
+            import math
+            return math.fmod(a, b) if b != 0.0 else None
+    except OverflowError:
+        return None
+    return None
+
+
+_ICMP = {
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b, "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b, "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: a < b, "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b, "uge": lambda a, b: a >= b,
+}
+_FCMP = {
+    "oeq": lambda a, b: a == b, "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b, "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b, "oge": lambda a, b: a >= b,
+}
+
+
+class ConstantFoldPass(FunctionPass):
+    """Fold constant expressions and propagate the results to their users."""
+
+    name = "constant-fold"
+
+    def __init__(self) -> None:
+        self._folded = 0
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        return {"folded": self._folded}
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                replacement = self._fold(inst)
+                if replacement is None:
+                    continue
+                self._replace_everywhere(function, inst, replacement)
+                block.remove(inst)
+                inst.drop_operands()
+                self._folded += 1
+                changed = True
+        return changed
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _fold(self, inst: Instruction) -> Optional[Constant]:
+        if isinstance(inst, BinaryOp):
+            lhs, rhs = inst.lhs, inst.rhs
+            if not (isinstance(lhs, Constant) and isinstance(rhs, Constant)):
+                return None
+            if isinstance(inst.type, IntType):
+                value = _fold_int_binary(inst.opcode, lhs.value, rhs.value, inst.type)
+            elif isinstance(inst.type, FloatType):
+                value = _fold_fp_binary(inst.opcode, lhs.value, rhs.value)
+            else:
+                return None
+            return Constant(inst.type, value) if value is not None else None
+        if isinstance(inst, CompareOp):
+            lhs, rhs = inst.lhs, inst.rhs
+            if not (isinstance(lhs, Constant) and isinstance(rhs, Constant)):
+                return None
+            table = _ICMP if inst.opcode == "icmp" else _FCMP
+            result = table[inst.predicate](lhs.value, rhs.value)
+            return Constant(IntType(1), int(result))
+        if isinstance(inst, Cast):
+            value = inst.value
+            if not isinstance(value, Constant):
+                return None
+            if inst.opcode in ("sext", "zext", "trunc"):
+                return Constant(inst.type, int(value.value))
+            if inst.opcode in ("fpext", "fptrunc"):
+                return Constant(inst.type, float(value.value))
+            if inst.opcode == "sitofp":
+                return Constant(inst.type, float(value.value))
+            if inst.opcode == "fptosi":
+                return Constant(inst.type, int(value.value))
+            return None
+        if isinstance(inst, Select):
+            condition = inst.condition
+            if isinstance(condition, Constant):
+                chosen = inst.true_value if condition.value else inst.false_value
+                if isinstance(chosen, Constant):
+                    return chosen
+            return None
+        return None
+
+    @staticmethod
+    def _replace_everywhere(function: Function, old: Value, new: Value) -> None:
+        for block in function.blocks:
+            for inst in block.instructions:
+                inst.replace_uses_of(old, new)
+                # Phi incoming lists keep their own value references.
+                if hasattr(inst, "incoming"):
+                    inst.incoming = [
+                        (new if v is old else v, b) for v, b in inst.incoming
+                    ]

@@ -1,0 +1,179 @@
+"""CodeExtractor: outline a SESE region into its own function.
+
+This mirrors LLVM's ``CodeExtractor`` utility in the form the paper uses it:
+a single-entry/single-exit loop nest is moved into a fresh ``void`` function
+whose parameters are the values the region used from its surroundings, and
+the original location is left with a call to that function.
+
+Because the KernelC frontend keeps every local in an alloca, regions never
+produce SSA values consumed after the loop, so the outlined function needs no
+return values.  The extractor still checks this precondition and refuses to
+outline if it does not hold (e.g. for hand-built IR in SSA form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.analysis.regions import Region
+from repro.compiler.ir.instructions import (
+    Branch,
+    Call,
+    Instruction,
+    Jump,
+    Phi,
+    Ret,
+)
+from repro.compiler.ir.module import BasicBlock, Function, Module
+from repro.compiler.ir.types import FunctionType, VOID
+from repro.compiler.ir.values import Argument, Constant, UndefValue, Value
+
+
+class ExtractionError(Exception):
+    """Raised when a region cannot be outlined."""
+
+
+@dataclass
+class ExtractionResult:
+    """What :meth:`CodeExtractor.extract` produced."""
+
+    outlined_function: Function
+    #: The block in the original function that now calls the outlined function.
+    call_block: BasicBlock
+    #: The call instruction itself.
+    call_instruction: Call
+    #: The values passed as arguments, in parameter order.
+    inputs: List[Value] = field(default_factory=list)
+    #: The region's original exit block (still in the original function).
+    exit_block: Optional[BasicBlock] = None
+
+
+class CodeExtractor:
+    """Outlines one SESE region of one function."""
+
+    def __init__(self, function: Function, region: Region):
+        if function.parent is None:
+            raise ExtractionError("function must belong to a module")
+        self.function = function
+        self.module: Module = function.parent
+        self.region = region
+
+    # -- analysis ------------------------------------------------------------------------
+
+    def find_inputs(self) -> List[Value]:
+        """Values defined outside the region but used inside it."""
+        inputs: List[Value] = []
+        seen = set()
+        for block in self._ordered_region_blocks():
+            for inst in block.instructions:
+                for operand in inst.operands:
+                    if isinstance(operand, (Constant, UndefValue, Function, BasicBlock)):
+                        continue
+                    if isinstance(operand, Argument):
+                        key = id(operand)
+                        if key not in seen:
+                            seen.add(key)
+                            inputs.append(operand)
+                        continue
+                    if isinstance(operand, Instruction):
+                        if operand.parent is not None and operand.parent not in self.region.blocks:
+                            key = id(operand)
+                            if key not in seen:
+                                seen.add(key)
+                                inputs.append(operand)
+        return inputs
+
+    def find_outputs(self) -> List[Value]:
+        """Values defined inside the region but used outside it."""
+        outputs: List[Value] = []
+        for block in self.function.blocks:
+            if block in self.region.blocks:
+                continue
+            for inst in block.instructions:
+                for operand in inst.operands:
+                    if isinstance(operand, Instruction) and operand.parent in self.region.blocks:
+                        if operand not in outputs:
+                            outputs.append(operand)
+        return outputs
+
+    def _ordered_region_blocks(self) -> List[BasicBlock]:
+        return [b for b in self.function.blocks if b in self.region.blocks]
+
+    # -- extraction ------------------------------------------------------------------------
+
+    def extract(self, name: str) -> ExtractionResult:
+        """Outline the region into a new function called *name*."""
+        outputs = self.find_outputs()
+        if outputs:
+            raise ExtractionError(
+                f"region in @{self.function.name} produces values used outside "
+                f"({', '.join('%' + (v.name or '?') for v in outputs)}); "
+                "cannot outline"
+            )
+        inputs = self.find_inputs()
+        region_blocks = self._ordered_region_blocks()
+        entry = self.region.entry
+        exit_block = self.region.exit
+
+        # Create the new function.
+        new_type = FunctionType(VOID, [v.type for v in inputs])
+        arg_names = []
+        for i, value in enumerate(inputs):
+            base = value.name or f"in{i}"
+            arg_names.append(f"{base}.in" if base in arg_names else base)
+        outlined = self.module.create_function(name, new_type, arg_names)
+        outlined.source_file = self.function.source_file
+        outlined.metadata["mperf.outlined_from"] = self.function.name
+
+        # Move the region blocks into it (entry block first).
+        ordered = [entry] + [b for b in region_blocks if b is not entry]
+        for block in ordered:
+            self.function.remove_block(block)
+            block.parent = outlined
+            outlined.blocks.append(block)
+
+        # Replace uses of the inputs with the new function's arguments.
+        remap: Dict[Value, Value] = {
+            value: arg for value, arg in zip(inputs, outlined.args)
+        }
+        for block in outlined.blocks:
+            for inst in block.instructions:
+                for old, new in remap.items():
+                    inst.replace_uses_of(old, new)
+                if isinstance(inst, Phi):
+                    inst.incoming = [
+                        (remap.get(v, v), b) for v, b in inst.incoming
+                    ]
+
+        # Edges that used to leave the region now return from the function.
+        return_block = outlined.add_block("region.exit")
+        return_block.append(Ret(None))
+        for block in outlined.blocks:
+            term = block.terminator
+            if isinstance(term, (Branch, Jump)):
+                term.replace_successor(exit_block, return_block)
+
+        # Build the call site in the original function.
+        call_block = self.function.add_block(
+            self.function.next_block_name("outlined.call")
+        )
+        call = Call(outlined, list(inputs), VOID)
+        call_block.append(call)
+        call_block.append(Jump(exit_block))
+
+        # Redirect every edge that used to enter the region to the call block.
+        for block in self.function.blocks:
+            if block is call_block:
+                continue
+            term = block.terminator
+            if isinstance(term, (Branch, Jump)):
+                term.replace_successor(entry, call_block)
+
+        return ExtractionResult(
+            outlined_function=outlined,
+            call_block=call_block,
+            call_instruction=call,
+            inputs=list(inputs),
+            exit_block=exit_block,
+        )

@@ -1,0 +1,103 @@
+"""The pass manager.
+
+A thin re-creation of LLVM's new pass manager: passes are objects with a
+``run`` method, the manager runs them in order, records per-pass statistics
+and (by default) re-verifies the module after every pass so a broken
+transformation cannot silently corrupt instrumentation counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.compiler.ir.module import Function, Module
+from repro.compiler.ir.verifier import verify_module
+
+
+@dataclass
+class PassResult:
+    """Outcome of running one pass."""
+
+    pass_name: str
+    changed: bool
+    seconds: float
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+
+class FunctionPass:
+    """A pass that runs once per defined function."""
+
+    name = "function-pass"
+
+    def run_on_function(self, function: Function) -> bool:
+        """Transform *function*; return True when something changed."""
+        raise NotImplementedError
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        return {}
+
+
+class ModulePass:
+    """A pass that runs once over the whole module."""
+
+    name = "module-pass"
+
+    def run_on_module(self, module: Module) -> bool:
+        raise NotImplementedError
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        return {}
+
+
+class PassManager:
+    """Runs a sequence of passes over a module."""
+
+    def __init__(self, verify_each: bool = True):
+        self.verify_each = verify_each
+        self._passes: List[Union[FunctionPass, ModulePass]] = []
+        self.results: List[PassResult] = []
+
+    def add(self, pass_: Union[FunctionPass, ModulePass]) -> "PassManager":
+        self._passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> List[PassResult]:
+        self.results = []
+        for pass_ in self._passes:
+            start = time.perf_counter()
+            changed = self._run_one(pass_, module)
+            elapsed = time.perf_counter() - start
+            self.results.append(
+                PassResult(
+                    pass_name=pass_.name,
+                    changed=changed,
+                    seconds=elapsed,
+                    statistics=dict(pass_.statistics),
+                )
+            )
+            if self.verify_each:
+                verify_module(module)
+        return self.results
+
+    def _run_one(self, pass_: Union[FunctionPass, ModulePass], module: Module) -> bool:
+        if isinstance(pass_, ModulePass):
+            return pass_.run_on_module(module)
+        changed = False
+        for function in list(module.defined_functions()):
+            if pass_.run_on_function(function):
+                changed = True
+        return changed
+
+    def summary(self) -> str:
+        lines = ["pass results:"]
+        for result in self.results:
+            stats = ", ".join(f"{k}={v}" for k, v in result.statistics.items())
+            lines.append(
+                f"  {result.pass_name:<28} changed={str(result.changed):<5} "
+                f"{result.seconds * 1e3:7.2f} ms  {stats}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Standard pass pipelines.
+
+Two pipelines are provided:
+
+* :func:`default_optimization_pipeline` -- the "-O" style cleanup +
+  vectorisation pipeline, used for baseline (non-instrumented) builds;
+* :func:`build_roofline_pipeline` -- the same pipeline with the Roofline
+  instrumentation pass appended *last*, matching the paper's choice to apply
+  instrumentation late so earlier optimisations cannot distort the counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.compiler.transforms.constfold import ConstantFoldPass
+from repro.compiler.transforms.dce import DeadCodeEliminationPass
+from repro.compiler.transforms.pass_manager import PassManager
+from repro.compiler.transforms.regpromote import PromoteScalarsPass
+from repro.compiler.transforms.roofline_pass import RooflineInstrumentationPass
+from repro.compiler.transforms.simplifycfg import SimplifyCfgPass
+from repro.compiler.transforms.vectorize import LoopVectorizePass
+
+
+def default_optimization_pipeline(vector_width: int = 8,
+                                  enable_vectorizer: bool = True,
+                                  promote_scalars: bool = True,
+                                  verify_each: bool = True) -> PassManager:
+    """Cleanup + scalar promotion + (optional) vectorisation, no instrumentation."""
+    manager = PassManager(verify_each=verify_each)
+    manager.add(ConstantFoldPass())
+    manager.add(SimplifyCfgPass())
+    manager.add(DeadCodeEliminationPass())
+    if promote_scalars:
+        manager.add(PromoteScalarsPass())
+    if enable_vectorizer and vector_width > 1:
+        manager.add(LoopVectorizePass(vector_width=vector_width))
+    return manager
+
+
+def build_roofline_pipeline(vector_width: int = 8,
+                            enable_vectorizer: bool = True,
+                            promote_scalars: bool = True,
+                            only_functions: Optional[List[str]] = None,
+                            instrument_first: bool = False,
+                            verify_each: bool = True) -> PassManager:
+    """The full pipeline with Roofline instrumentation.
+
+    ``instrument_first=True`` deliberately mis-orders the pipeline (the
+    instrumentation runs before the vectoriser); it exists for the ablation
+    study of the paper's "apply the pass late" design choice.
+    """
+    manager = PassManager(verify_each=verify_each)
+    instrumentation = RooflineInstrumentationPass(only_functions=only_functions)
+    manager.add(ConstantFoldPass())
+    manager.add(SimplifyCfgPass())
+    manager.add(DeadCodeEliminationPass())
+    if promote_scalars:
+        manager.add(PromoteScalarsPass())
+    if instrument_first:
+        manager.add(instrumentation)
+        if enable_vectorizer and vector_width > 1:
+            manager.add(LoopVectorizePass(vector_width=vector_width))
+    else:
+        if enable_vectorizer and vector_width > 1:
+            manager.add(LoopVectorizePass(vector_width=vector_width))
+        manager.add(instrumentation)
+    return manager

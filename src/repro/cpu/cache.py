@@ -1,0 +1,281 @@
+"""Set-associative cache hierarchy and DRAM model.
+
+The roofline memory roof and the IPC gap both hinge on the memory subsystem,
+so the hierarchy is modelled structurally: per-level set-associative caches
+with LRU replacement, a write-allocate / write-back policy, and a DRAM model
+characterised by latency and peak bytes/cycle (the paper derives the X60
+DRAM roof from a measured 3.16 bytes/cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    hit_latency: int = 3
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.line_bytes <= 0 or (self.line_bytes & (self.line_bytes - 1)):
+            raise ValueError("line_bytes must be a positive power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError(
+                f"{self.name}: size must be a multiple of line_bytes*associativity"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """DRAM characteristics."""
+
+    latency_cycles: int = 120
+    peak_bytes_per_cycle: float = 3.16
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+        if self.peak_bytes_per_cycle <= 0:
+            raise ValueError("peak_bytes_per_cycle must be positive")
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one memory access walked through the hierarchy."""
+
+    hit_level: str                 # name of the level that served the access, or "DRAM"
+    latency: int                   # total latency in cycles
+    l1_miss: bool
+    llc_miss: bool                 # missed all cache levels
+    dram_bytes: int                # bytes moved to/from DRAM (line fills + writebacks)
+    levels_missed: List[str] = field(default_factory=list)
+
+
+class _CacheSet:
+    """One set of a set-associative cache with true-LRU replacement."""
+
+    __slots__ = ("capacity", "lines", "dirty")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.lines: List[int] = []      # tags, most-recently-used last
+        self.dirty: Dict[int, bool] = {}
+
+    def lookup(self, tag: int) -> bool:
+        if tag in self.dirty:
+            self.lines.remove(tag)
+            self.lines.append(tag)
+            return True
+        return False
+
+    def insert(self, tag: int, dirty: bool) -> Optional[Tuple[int, bool]]:
+        """Insert a line; return the evicted ``(tag, was_dirty)`` if any."""
+        evicted = None
+        if tag in self.dirty:
+            self.lines.remove(tag)
+        elif len(self.lines) >= self.capacity:
+            victim = self.lines.pop(0)
+            evicted = (victim, self.dirty.pop(victim))
+        self.lines.append(tag)
+        self.dirty[tag] = self.dirty.get(tag, False) or dirty
+        return evicted
+
+    def mark_dirty(self, tag: int) -> None:
+        if tag in self.dirty:
+            self.dirty[tag] = True
+
+
+class Cache:
+    """A single set-associative, write-allocate, write-back cache level."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: Dict[int, _CacheSet] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _set_for(self, address: int) -> Tuple[_CacheSet, int]:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        bucket = self._sets.get(set_index)
+        if bucket is None:
+            bucket = _CacheSet(self.config.associativity)
+            self._sets[set_index] = bucket
+        return bucket, tag
+
+    def access(self, address: int, is_store: bool) -> bool:
+        """Access one line; return True on hit.
+
+        On a miss the line is *not* filled here -- the hierarchy decides how
+        far down the miss travels and calls :meth:`fill` on the way back up.
+        """
+        bucket, tag = self._set_for(address)
+        if bucket.lookup(tag):
+            self.hits += 1
+            if is_store:
+                bucket.mark_dirty(tag)
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, address: int, is_store: bool) -> bool:
+        """Fill the line containing *address*; return True if a dirty line was evicted."""
+        bucket, tag = self._set_for(address)
+        evicted = bucket.insert(tag, dirty=is_store)
+        if evicted is not None and evicted[1]:
+            self.writebacks += 1
+            return True
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+
+class CacheHierarchy:
+    """An inclusive multi-level cache hierarchy in front of DRAM.
+
+    Accesses are performed at cache-line granularity; an access spanning
+    multiple lines (for example a 32-byte vector load with a 64-byte line is
+    one line, but a crossing access is two) touches each line once.
+    """
+
+    def __init__(self, levels: List[CacheConfig], memory: MemoryConfig):
+        if not levels:
+            raise ValueError("at least one cache level is required")
+        self.levels = [Cache(cfg) for cfg in levels]
+        self.memory = memory
+        self.dram_read_bytes = 0
+        self.dram_write_bytes = 0
+        self.dram_accesses = 0
+
+    @property
+    def line_bytes(self) -> int:
+        return self.levels[0].config.line_bytes
+
+    def access(self, address: int, size_bytes: int, is_store: bool) -> AccessResult:
+        """Walk one memory access through the hierarchy.
+
+        Returns an aggregate :class:`AccessResult`; when the access spans
+        several cache lines the worst latency is reported (the lines are
+        fetched in parallel by the miss handling hardware) and DRAM bytes are
+        summed.
+        """
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        line = self.line_bytes
+        first = address // line
+        last = (address + size_bytes - 1) // line
+        worst: Optional[AccessResult] = None
+        total_dram = 0
+        l1_miss = False
+        llc_miss = False
+        for line_index in range(first, last + 1):
+            result = self._access_line(line_index * line, is_store)
+            total_dram += result.dram_bytes
+            l1_miss = l1_miss or result.l1_miss
+            llc_miss = llc_miss or result.llc_miss
+            if worst is None or result.latency > worst.latency:
+                worst = result
+        assert worst is not None
+        return AccessResult(
+            hit_level=worst.hit_level,
+            latency=worst.latency,
+            l1_miss=l1_miss,
+            llc_miss=llc_miss,
+            dram_bytes=total_dram,
+            levels_missed=worst.levels_missed,
+        )
+
+    def _access_line(self, address: int, is_store: bool) -> AccessResult:
+        latency = 0
+        missed: List[str] = []
+        for depth, cache in enumerate(self.levels):
+            latency += cache.config.hit_latency
+            if cache.access(address, is_store):
+                # Fill the levels above (inclusive hierarchy).
+                for upper in self.levels[:depth]:
+                    upper.fill(address, is_store)
+                return AccessResult(
+                    hit_level=cache.config.name,
+                    latency=latency,
+                    l1_miss=depth > 0,
+                    llc_miss=False,
+                    dram_bytes=0,
+                    levels_missed=missed,
+                )
+            missed.append(cache.config.name)
+        # Missed every level: go to DRAM.
+        latency += self.memory.latency_cycles
+        dram_bytes = self.line_bytes
+        self.dram_read_bytes += self.line_bytes
+        self.dram_accesses += 1
+        for cache in self.levels:
+            if cache.fill(address, is_store):
+                dram_bytes += self.line_bytes
+                self.dram_write_bytes += self.line_bytes
+        return AccessResult(
+            hit_level="DRAM",
+            latency=latency,
+            l1_miss=True,
+            llc_miss=True,
+            dram_bytes=dram_bytes,
+            levels_missed=missed,
+        )
+
+    # -- statistics -----------------------------------------------------------
+
+    def level(self, name: str) -> Cache:
+        for cache in self.levels:
+            if cache.config.name == name:
+                return cache
+        raise KeyError(f"no cache level named {name!r}")
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for cache in self.levels:
+            out[cache.config.name] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "miss_rate": cache.miss_rate,
+                "writebacks": cache.writebacks,
+            }
+        out["DRAM"] = {
+            "read_bytes": self.dram_read_bytes,
+            "write_bytes": self.dram_write_bytes,
+            "accesses": self.dram_accesses,
+        }
+        return out
+
+    def reset_stats(self) -> None:
+        for cache in self.levels:
+            cache.reset_stats()
+        self.dram_read_bytes = 0
+        self.dram_write_bytes = 0
+        self.dram_accesses = 0

@@ -1,0 +1,24 @@
+"""Flame graphs (Brendan Gregg style) built from perf samples.
+
+The x-axis is the stack-profile population (frames sorted alphabetically to
+maximise merging), the y-axis is stack depth, and a frame's width is
+proportional to how often it appeared in the sampled stacks -- either sample
+counts (cycle-proportional, when cycles drive the sampling) or any group
+event's per-sample delta (the instructions-retired variant of the paper's
+Figure 3).
+"""
+
+from repro.flamegraph.model import FlameNode, build_flame_graph, fold_stacks
+from repro.flamegraph.render_text import render_text
+from repro.flamegraph.render_svg import render_svg
+from repro.flamegraph.diff import diff_flame_graphs, FrameDiff
+
+__all__ = [
+    "FlameNode",
+    "build_flame_graph",
+    "fold_stacks",
+    "render_text",
+    "render_svg",
+    "diff_flame_graphs",
+    "FrameDiff",
+]

@@ -1,0 +1,70 @@
+"""Differential flame graphs.
+
+The paper's Section 5.1 motivates comparing flame graphs across platforms or
+metrics ("as straightforward as comparing two images"): a function whose
+instructions-retired frame is 8x wider on one platform signals missing
+vectorisation.  This module makes that comparison quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.flamegraph.model import FlameNode
+
+
+@dataclass
+class FrameDiff:
+    """One function's share in two flame graphs."""
+
+    function: str
+    fraction_a: float
+    fraction_b: float
+
+    @property
+    def ratio(self) -> float:
+        """How many times wider the frame is in B than in A."""
+        if self.fraction_a == 0:
+            return float("inf") if self.fraction_b > 0 else 1.0
+        return self.fraction_b / self.fraction_a
+
+    @property
+    def delta(self) -> float:
+        return self.fraction_b - self.fraction_a
+
+
+def _self_fractions(root: FlameNode) -> Dict[str, float]:
+    totals: Dict[str, int] = {}
+
+    def walk(node: FlameNode) -> None:
+        if node.depth > 0:
+            totals[node.name] = totals.get(node.name, 0) + node.self_value
+        for child in node.children.values():
+            walk(child)
+
+    walk(root)
+    denominator = root.value or 1
+    return {name: value / denominator for name, value in totals.items()}
+
+
+def diff_flame_graphs(a: FlameNode, b: FlameNode, minimum_fraction: float = 0.0
+                      ) -> List[FrameDiff]:
+    """Compare two flame graphs function by function (self-time fractions)."""
+    fractions_a = _self_fractions(a)
+    fractions_b = _self_fractions(b)
+    names = set(fractions_a) | set(fractions_b)
+    diffs = [
+        FrameDiff(
+            function=name,
+            fraction_a=fractions_a.get(name, 0.0),
+            fraction_b=fractions_b.get(name, 0.0),
+        )
+        for name in names
+    ]
+    diffs = [
+        d for d in diffs
+        if max(d.fraction_a, d.fraction_b) >= minimum_fraction
+    ]
+    diffs.sort(key=lambda d: abs(d.delta), reverse=True)
+    return diffs

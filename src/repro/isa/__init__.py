@@ -1,0 +1,61 @@
+"""RISC-V architectural-state substrate.
+
+This package models the pieces of the RISC-V privileged architecture that the
+paper's PMU methodology depends on:
+
+* :mod:`repro.isa.privilege` -- the Machine/Supervisor/User privilege modes and
+  the trap/ecall mechanism used to reach OpenSBI.
+* :mod:`repro.isa.csr` -- the Control and Status Register file, including the
+  hardware performance-monitoring CSRs (``mcycle``, ``minstret``,
+  ``mhpmcounter3..31``, ``mhpmevent3..31``, ``mcountinhibit``, ``mcounteren``)
+  with privilege-checked access.
+* :mod:`repro.isa.machine_ops` -- the retired-operation taxonomy consumed by
+  the core timing models and observed by the PMU.
+* :mod:`repro.isa.registers` -- integer / floating-point / vector register
+  files used by the execution engine.
+"""
+
+from repro.isa.machine_ops import MachineOp, OpClass, op_is_memory, op_is_flop
+from repro.isa.privilege import PrivilegeMode, Trap, TrapCause
+from repro.isa.csr import (
+    CsrFile,
+    CsrAccessError,
+    CSR_MCYCLE,
+    CSR_MINSTRET,
+    CSR_MCOUNTINHIBIT,
+    CSR_MCOUNTEREN,
+    CSR_SCOUNTEREN,
+    CSR_MHPMCOUNTER_BASE,
+    CSR_MHPMEVENT_BASE,
+    CSR_MVENDORID,
+    CSR_MARCHID,
+    CSR_MIMPID,
+    CSR_MHARTID,
+)
+from repro.isa.registers import IntRegisterFile, FpRegisterFile, VectorRegisterFile
+
+__all__ = [
+    "MachineOp",
+    "OpClass",
+    "op_is_memory",
+    "op_is_flop",
+    "PrivilegeMode",
+    "Trap",
+    "TrapCause",
+    "CsrFile",
+    "CsrAccessError",
+    "CSR_MCYCLE",
+    "CSR_MINSTRET",
+    "CSR_MCOUNTINHIBIT",
+    "CSR_MCOUNTEREN",
+    "CSR_SCOUNTEREN",
+    "CSR_MHPMCOUNTER_BASE",
+    "CSR_MHPMEVENT_BASE",
+    "CSR_MVENDORID",
+    "CSR_MARCHID",
+    "CSR_MIMPID",
+    "CSR_MHARTID",
+    "IntRegisterFile",
+    "FpRegisterFile",
+    "VectorRegisterFile",
+]

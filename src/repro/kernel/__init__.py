@@ -1,0 +1,45 @@
+"""Linux-like ``perf_event`` subsystem model.
+
+The paper's PMU workaround is entirely a property of how the Linux
+``perf_event`` subsystem schedules *event groups* onto hardware counters and
+what it records when a sampling leader overflows.  This package implements
+those semantics:
+
+* :mod:`repro.kernel.task` -- the profiled task and its call-chain capture.
+* :mod:`repro.kernel.ring_buffer` -- the mmap'd sample ring buffer.
+* :mod:`repro.kernel.drivers` -- architecture PMU drivers (RISC-V via SBI,
+  x86 direct).
+* :mod:`repro.kernel.perf_event` -- ``perf_event_open``, event groups,
+  enable/disable/read, sampling and overflow handling.
+"""
+
+from repro.kernel.task import Task, StackFrame
+from repro.kernel.ring_buffer import RingBuffer, SampleRecord
+from repro.kernel.drivers import PmuDriver, RiscvSbiPmuDriver, X86PmuDriver, EventInitError
+from repro.kernel.perf_event import (
+    PerfEventAttr,
+    PerfEvent,
+    PerfEventSubsystem,
+    PerfEventOpenError,
+    PerfReadValue,
+    SampleType,
+    ReadFormat,
+)
+
+__all__ = [
+    "Task",
+    "StackFrame",
+    "RingBuffer",
+    "SampleRecord",
+    "PmuDriver",
+    "RiscvSbiPmuDriver",
+    "X86PmuDriver",
+    "EventInitError",
+    "PerfEventAttr",
+    "PerfEvent",
+    "PerfEventSubsystem",
+    "PerfEventOpenError",
+    "PerfReadValue",
+    "SampleType",
+    "ReadFormat",
+]

@@ -1,0 +1,45 @@
+"""miniperf: the paper's profiling tool.
+
+miniperf wraps the ``perf_event_open`` interface with three ingredients the
+stock ``perf`` tool lacks on emerging RISC-V platforms:
+
+* **CPU identification by CSR** (:mod:`repro.miniperf.cpuid`) -- hardware is
+  identified from ``mvendorid``/``marchid``/``mimpid`` instead of perf event
+  discovery, so quirk handling does not depend on kernel event tables.
+* **Automatic group/leader planning** (:mod:`repro.miniperf.groups`) -- on
+  parts whose cycle/instret counters cannot raise overflow interrupts (the
+  SpacemiT X60), a sampling-capable vendor event is chosen as group leader
+  and the requested events ride along in each sample.
+* **Multiplexing correction** (:mod:`repro.miniperf.correction`) -- counts
+  are rescaled by ``time_enabled/time_running`` so multiplexed counters stay
+  comparable.
+
+On top of that sit ``stat`` (counting mode), ``record`` (sampling mode),
+``report`` (hotspot tables, the source of the paper's Table 2) and the
+flame-graph and roofline integrations used by the evaluation.
+"""
+
+from repro.miniperf.cpuid import CpuInfo, identify_machine, KNOWN_CPUS
+from repro.miniperf.groups import GroupPlan, plan_sampling_group
+from repro.miniperf.stat import StatResult, miniperf_stat
+from repro.miniperf.record import RecordingResult, miniperf_record
+from repro.miniperf.report import HotspotRow, HotspotReport, build_hotspot_report
+from repro.miniperf.correction import scale_multiplexed
+from repro.miniperf.tool import Miniperf
+
+__all__ = [
+    "CpuInfo",
+    "identify_machine",
+    "KNOWN_CPUS",
+    "GroupPlan",
+    "plan_sampling_group",
+    "StatResult",
+    "miniperf_stat",
+    "RecordingResult",
+    "miniperf_record",
+    "HotspotRow",
+    "HotspotReport",
+    "build_hotspot_report",
+    "scale_multiplexed",
+    "Miniperf",
+]

@@ -1,0 +1,92 @@
+"""``miniperf record``: sampling-mode profiling of a workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cpu.events import HwEvent
+from repro.kernel.perf_event import PerfEventOpenError
+from repro.kernel.ring_buffer import SampleRecord
+from repro.kernel.task import Task
+from repro.miniperf.cpuid import CpuInfo, identify_machine
+from repro.miniperf.groups import GroupPlan, plan_sampling_group
+from repro.platforms.machine import Machine
+
+
+@dataclass
+class RecordingResult:
+    """Samples collected by one ``miniperf record`` run."""
+
+    platform: str
+    plan: GroupPlan
+    samples: List[SampleRecord] = field(default_factory=list)
+    lost: int = 0
+    #: Final (non-sampled) readout of every group member at disable time.
+    final_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.samples)
+
+    def total(self, event: HwEvent) -> int:
+        return self.final_counts.get(event.value, 0)
+
+    @property
+    def overall_ipc(self) -> float:
+        cycles = self.total(HwEvent.CYCLES)
+        instructions = self.total(HwEvent.INSTRUCTIONS)
+        return instructions / cycles if cycles else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.platform}: {self.sample_count} samples "
+            f"({self.lost} lost), plan: {self.plan.describe()}"
+        )
+
+
+def miniperf_record(machine: Machine, task: Task, workload: Callable[[], None],
+                    events: Sequence[HwEvent] = (HwEvent.CYCLES, HwEvent.INSTRUCTIONS),
+                    sample_period: int = 50_000,
+                    callchain: bool = True,
+                    cpu: Optional[CpuInfo] = None) -> RecordingResult:
+    """Profile *workload* by sampling, applying the platform workaround if needed.
+
+    This is the code path the paper's Section 3.3 describes: the CPU is
+    identified from its identification registers, a sampling group is planned
+    (with the vendor leader event on the X60), the group is opened and
+    enabled, the workload runs, and the mmap ring buffer is drained into a
+    list of samples.
+    """
+    cpu = cpu or identify_machine(machine)
+    plan = plan_sampling_group(cpu, events, sample_period)
+
+    leader_fd = machine.perf.perf_event_open(plan.leader_attr(callchain), task)
+    member_fds: Dict[HwEvent, int] = {}
+    for event, attr in zip(plan.member_events, plan.member_attrs()):
+        try:
+            member_fds[event] = machine.perf.perf_event_open(attr, task,
+                                                             group_fd=leader_fd)
+        except PerfEventOpenError:
+            # A member that cannot even be *counted* is dropped, not fatal.
+            continue
+
+    buffer = machine.perf.mmap(leader_fd)
+    machine.perf.enable(leader_fd)
+    workload()
+    machine.perf.disable(leader_fd)
+
+    samples = buffer.drain()
+    final = machine.perf.read(leader_fd)
+    result = RecordingResult(
+        platform=machine.name,
+        plan=plan,
+        samples=samples,
+        lost=buffer.lost,
+        final_counts=dict(final.group),
+    )
+
+    machine.perf.close(leader_fd)
+    for fd in member_fds.values():
+        machine.perf.close(fd)
+    return result

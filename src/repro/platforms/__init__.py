@@ -1,0 +1,31 @@
+"""Platform descriptors and the integrated machine model.
+
+A :class:`~repro.platforms.machine.Machine` bundles one platform's core
+timing model, cache hierarchy, CSR file, PMU, OpenSBI firmware, kernel PMU
+driver and perf_event subsystem -- the full Figure-1 stack -- behind one
+object that execution engines drive and miniperf profiles.
+"""
+
+from repro.platforms.descriptors import (
+    PlatformDescriptor,
+    VectorCapability,
+    spacemit_x60,
+    sifive_u74,
+    thead_c910,
+    intel_i5_1135g7,
+    all_platforms,
+    platform_by_name,
+)
+from repro.platforms.machine import Machine
+
+__all__ = [
+    "PlatformDescriptor",
+    "VectorCapability",
+    "Machine",
+    "spacemit_x60",
+    "sifive_u74",
+    "thead_c910",
+    "intel_i5_1135g7",
+    "all_platforms",
+    "platform_by_name",
+]

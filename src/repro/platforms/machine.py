@@ -1,0 +1,149 @@
+"""The integrated machine: core + caches + CSRs + PMU + SBI + kernel.
+
+One :class:`Machine` instance is a single profiled board.  Execution engines
+feed it retired :class:`~repro.isa.machine_ops.MachineOp` streams; miniperf
+opens perf events against its kernel; the roofline runner asks it for
+theoretical roofs.  Everything the paper's Figure 1 stacks vertically lives
+behind this object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cpu.branch import GsharePredictor
+from repro.cpu.cache import CacheHierarchy
+from repro.cpu.core import CoreTimingModel, InOrderCore, OutOfOrderCore
+from repro.cpu.events import EventBus, HwEvent
+from repro.isa.csr import CsrFile
+from repro.isa.machine_ops import MachineOp
+from repro.isa.privilege import PrivilegeMode
+from repro.kernel.drivers import PmuDriver, RiscvSbiPmuDriver, X86PmuDriver
+from repro.kernel.perf_event import PerfEventSubsystem
+from repro.kernel.task import Task
+from repro.platforms.descriptors import PlatformDescriptor
+from repro.pmu.unit import PmuUnit
+from repro.sbi.firmware import OpenSbi
+from repro.sbi.pmu_ext import SbiPmuExtension
+
+
+class Machine:
+    """A fully assembled platform model.
+
+    Parameters
+    ----------
+    descriptor:
+        Which platform to build.
+    vendor_driver:
+        Whether vendor kernel patches are installed.  Matters for platforms
+        without upstream Linux support (the X60's mode-cycle events are only
+        visible with the vendor driver); defaults to True because that is the
+        configuration the paper measures.
+    """
+
+    def __init__(self, descriptor: PlatformDescriptor, vendor_driver: bool = True):
+        self.descriptor = descriptor
+        self.bus = EventBus()
+        self.hierarchy = CacheHierarchy(descriptor.caches, descriptor.memory)
+        self.predictor = GsharePredictor()
+
+        core_cls = OutOfOrderCore if descriptor.core.out_of_order else InOrderCore
+        self.core: CoreTimingModel = core_cls(
+            descriptor.core, self.hierarchy, self.bus, self.predictor
+        )
+
+        self.csr = CsrFile(descriptor.identity)
+        self.pmu: PmuUnit = descriptor.pmu_class(self.bus)
+
+        self.sbi: Optional[OpenSbi] = None
+        if descriptor.is_riscv:
+            self.sbi = OpenSbi(self.csr)
+            self.sbi.register_extension(SbiPmuExtension(self.csr, self.pmu))
+            self.driver: PmuDriver = RiscvSbiPmuDriver(
+                self.sbi, self.csr, self.pmu, vendor_driver=vendor_driver
+            )
+        else:
+            self.driver = X86PmuDriver(self.pmu)
+
+        self.perf = PerfEventSubsystem(self.driver, clock=self.clock)
+        self._tasks: Dict[int, Task] = {}
+
+    # -- identity & capability ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.descriptor.core.frequency_hz
+
+    def clock(self) -> int:
+        """Current machine time in core cycles (the perf_event time source)."""
+        return self.core.total_cycles
+
+    def theoretical_peak_gflops(self) -> float:
+        return self.descriptor.theoretical_peak_gflops()
+
+    def theoretical_dram_bandwidth_gbps(self) -> float:
+        return self.descriptor.theoretical_dram_bandwidth_gbps()
+
+    # -- task management -------------------------------------------------------------
+
+    def create_task(self, name: str) -> Task:
+        task = Task(name)
+        self._tasks[task.pid] = task
+        return task
+
+    def task(self, pid: int) -> Task:
+        return self._tasks[pid]
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(self, op: MachineOp, task: Optional[Task] = None):
+        """Retire one machine op on this machine's core.
+
+        When *task* is given its program counter is updated first so any
+        sampling interrupt raised by this op attributes the sample correctly.
+        """
+        if task is not None and op.pc:
+            task.set_pc(op.pc)
+        return self.core.retire(op)
+
+    def set_privilege_mode(self, mode: PrivilegeMode) -> None:
+        self.core.set_privilege_mode(mode)
+
+    # -- convenience metrics ------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.core.total_cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.core.retired_instructions
+
+    @property
+    def ipc(self) -> float:
+        return self.core.ipc
+
+    def elapsed_seconds(self) -> float:
+        return self.core.elapsed_seconds()
+
+    def event_totals(self) -> Dict[HwEvent, int]:
+        """Raw event totals observed on the bus (PMU-independent ground truth)."""
+        return self.bus.totals.as_dict()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "platform": self.name,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 4),
+            "elapsed_seconds": self.elapsed_seconds(),
+            "cache": self.hierarchy.stats(),
+            "branch_miss_rate": round(self.predictor.miss_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return f"Machine({self.name!r}, cycles={self.cycles}, ipc={self.ipc:.2f})"

@@ -1,0 +1,32 @@
+"""Performance Monitoring Unit hardware models.
+
+This package models the PMU *hardware* layer of the paper's Figure 1 stack:
+counters, event selectors, overflow interrupts and -- crucially -- the
+per-vendor differences in capability and compliance that motivate the whole
+paper (Table 1).  The kernel-side driver that programs these units lives in
+:mod:`repro.kernel`; the firmware that proxies machine-level accesses lives in
+:mod:`repro.sbi`.
+"""
+
+from repro.pmu.counters import HardwareCounter, CounterOverflow, SamplingUnsupportedError
+from repro.pmu.unit import PmuUnit, PmuCapabilities
+from repro.pmu.vendors import (
+    SiFiveU74Pmu,
+    TheadC910Pmu,
+    SpacemitX60Pmu,
+    IntelTigerLakePmu,
+    pmu_for_identity,
+)
+
+__all__ = [
+    "HardwareCounter",
+    "CounterOverflow",
+    "SamplingUnsupportedError",
+    "PmuUnit",
+    "PmuCapabilities",
+    "SiFiveU74Pmu",
+    "TheadC910Pmu",
+    "SpacemitX60Pmu",
+    "IntelTigerLakePmu",
+    "pmu_for_identity",
+]

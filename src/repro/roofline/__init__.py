@@ -1,0 +1,20 @@
+"""Roofline modelling: roofs, points, plots and the two-phase runner."""
+
+from repro.roofline.machine import MachineRoofs, theoretical_roofs
+from repro.roofline.microbench import measure_roofs, MicrobenchResult
+from repro.roofline.model import RooflinePoint, RooflineModel
+from repro.roofline.plot import render_ascii_roofline, render_svg_roofline
+from repro.roofline.runner import RooflineRunner, KernelRooflineResult
+
+__all__ = [
+    "MachineRoofs",
+    "theoretical_roofs",
+    "measure_roofs",
+    "MicrobenchResult",
+    "RooflinePoint",
+    "RooflineModel",
+    "render_ascii_roofline",
+    "render_svg_roofline",
+    "RooflineRunner",
+    "KernelRooflineResult",
+]

@@ -1,0 +1,9 @@
+"""The mperf roofline runtime (the library the instrumented code calls into)."""
+
+from repro.runtime.roofline_runtime import (
+    RooflineRuntime,
+    LoopExecutionRecord,
+    MPERF_INSTRUMENT_ENV,
+)
+
+__all__ = ["RooflineRuntime", "LoopExecutionRecord", "MPERF_INSTRUMENT_ENV"]

@@ -1,0 +1,35 @@
+"""OpenSBI firmware model.
+
+On RISC-V the Linux kernel (Supervisor mode) cannot touch machine-level PMU
+CSRs, so it calls into Machine-mode firmware via the SBI ``ecall`` interface.
+This package models that firmware layer: the SBI base extension, the PMU
+(HPM) extension the kernel PMU driver uses, and the ``mcounteren`` delegation
+that lets the kernel read counters directly afterwards (paper Section 3.2 and
+Figure 1).
+"""
+
+from repro.sbi.firmware import OpenSbi, SbiRet, SbiError
+from repro.sbi.pmu_ext import (
+    SBI_EXT_PMU,
+    PMU_COUNTER_CFG_MATCHING,
+    PMU_COUNTER_START,
+    PMU_COUNTER_STOP,
+    PMU_COUNTER_FW_READ,
+    PMU_NUM_COUNTERS,
+    PMU_COUNTER_GET_INFO,
+    SbiPmuExtension,
+)
+
+__all__ = [
+    "OpenSbi",
+    "SbiRet",
+    "SbiError",
+    "SbiPmuExtension",
+    "SBI_EXT_PMU",
+    "PMU_NUM_COUNTERS",
+    "PMU_COUNTER_GET_INFO",
+    "PMU_COUNTER_CFG_MATCHING",
+    "PMU_COUNTER_START",
+    "PMU_COUNTER_STOP",
+    "PMU_COUNTER_FW_READ",
+]

@@ -1,0 +1,128 @@
+"""The OpenSBI firmware core: ecall dispatch and the base extension."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.isa.csr import CsrFile
+from repro.isa.privilege import PrivilegeMode
+
+
+class SbiError(enum.IntEnum):
+    """SBI return error codes (subset of the SBI specification)."""
+
+    SUCCESS = 0
+    FAILED = -1
+    NOT_SUPPORTED = -2
+    INVALID_PARAM = -3
+    DENIED = -4
+    INVALID_ADDRESS = -5
+    ALREADY_AVAILABLE = -6
+    ALREADY_STARTED = -7
+    ALREADY_STOPPED = -8
+
+
+@dataclass(frozen=True)
+class SbiRet:
+    """The ``(error, value)`` pair every SBI call returns."""
+
+    error: SbiError
+    value: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is SbiError.SUCCESS
+
+
+# Extension ids.
+SBI_EXT_BASE = 0x10
+
+# Base extension function ids.
+BASE_GET_SPEC_VERSION = 0
+BASE_GET_IMPL_ID = 1
+BASE_GET_IMPL_VERSION = 2
+BASE_PROBE_EXTENSION = 3
+BASE_GET_MVENDORID = 4
+BASE_GET_MARCHID = 5
+BASE_GET_MIMPID = 6
+
+#: OpenSBI's implementation id in the SBI spec registry.
+OPENSBI_IMPL_ID = 1
+#: Modelled SBI specification version (v2.0 encoded as major<<24 | minor).
+SBI_SPEC_VERSION = (2 << 24) | 0
+
+
+class SbiExtension:
+    """Interface for SBI extensions registered with the firmware."""
+
+    extension_id: int = 0
+
+    def handle(self, func_id: int, args: Sequence[int]) -> SbiRet:
+        raise NotImplementedError
+
+
+class OpenSbi:
+    """Machine-mode firmware for one hart.
+
+    The firmware is the only agent allowed to touch machine-level CSRs; the
+    kernel reaches it exclusively through :meth:`ecall`, mirroring the
+    privilege boundary on real hardware.
+    """
+
+    def __init__(self, csr: CsrFile):
+        self.csr = csr
+        self._extensions: Dict[int, SbiExtension] = {}
+        self.ecall_count = 0
+
+    def register_extension(self, extension: SbiExtension) -> None:
+        self._extensions[extension.extension_id] = extension
+
+    def has_extension(self, extension_id: int) -> bool:
+        return extension_id in self._extensions or extension_id == SBI_EXT_BASE
+
+    # -- the ecall boundary ------------------------------------------------------
+
+    def ecall(
+        self,
+        extension_id: int,
+        func_id: int,
+        args: Sequence[int] = (),
+        caller_mode: PrivilegeMode = PrivilegeMode.SUPERVISOR,
+    ) -> SbiRet:
+        """Handle an environment call from *caller_mode*.
+
+        User mode cannot issue SBI calls directly (they trap to the kernel
+        first); a call from U-mode is therefore denied here.
+        """
+        self.ecall_count += 1
+        if caller_mode is PrivilegeMode.USER:
+            return SbiRet(SbiError.DENIED)
+        if extension_id == SBI_EXT_BASE:
+            return self._handle_base(func_id, args)
+        extension = self._extensions.get(extension_id)
+        if extension is None:
+            return SbiRet(SbiError.NOT_SUPPORTED)
+        return extension.handle(func_id, list(args))
+
+    # -- base extension ----------------------------------------------------------
+
+    def _handle_base(self, func_id: int, args: Sequence[int]) -> SbiRet:
+        if func_id == BASE_GET_SPEC_VERSION:
+            return SbiRet(SbiError.SUCCESS, SBI_SPEC_VERSION)
+        if func_id == BASE_GET_IMPL_ID:
+            return SbiRet(SbiError.SUCCESS, OPENSBI_IMPL_ID)
+        if func_id == BASE_GET_IMPL_VERSION:
+            return SbiRet(SbiError.SUCCESS, 0x10004)
+        if func_id == BASE_PROBE_EXTENSION:
+            if not args:
+                return SbiRet(SbiError.INVALID_PARAM)
+            return SbiRet(SbiError.SUCCESS, 1 if self.has_extension(args[0]) else 0)
+        if func_id == BASE_GET_MVENDORID:
+            return SbiRet(SbiError.SUCCESS, self.csr.identity.mvendorid)
+        if func_id == BASE_GET_MARCHID:
+            return SbiRet(SbiError.SUCCESS, self.csr.identity.marchid)
+        if func_id == BASE_GET_MIMPID:
+            return SbiRet(SbiError.SUCCESS, self.csr.identity.mimpid)
+        return SbiRet(SbiError.NOT_SUPPORTED)

@@ -1,0 +1,5 @@
+"""The integrated toolchain: one workflow from workload to reports."""
+
+from repro.toolchain.workflow import AnalysisWorkflow, AnalysisReport
+
+__all__ = ["AnalysisWorkflow", "AnalysisReport"]

@@ -1,0 +1,179 @@
+"""Command-line interface: ``miniperf <subcommand>``.
+
+Subcommands mirror the tool's modes on the modelled platforms:
+
+* ``capabilities``            -- print the Table-1 platform comparison;
+* ``identify --platform X``   -- show what cpuid-based identification finds;
+* ``stat --platform X``       -- count events for the sqlite3-like workload;
+* ``record --platform X``     -- sample it and print the hotspot table;
+* ``flamegraph --platform X`` -- same, rendered as a flame graph (text/SVG);
+* ``roofline --platform X``   -- run the compiler-driven roofline for matmul.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cpu.events import HwEvent
+from repro.flamegraph import build_flame_graph, render_svg, render_text
+from repro.miniperf import Miniperf
+from repro.platforms import Machine, all_platforms, platform_by_name
+from repro.pmu.vendors import all_capabilities
+from repro.roofline.plot import render_ascii_roofline, write_svg_roofline
+from repro.roofline.runner import RooflineRunner
+from repro.toolchain.workflow import AnalysisWorkflow
+from repro.workloads import matmul_args_builder, MATMUL_TILED_SOURCE
+from repro.workloads.sqlite3_like import instruction_factor_for, sqlite3_like_workload
+
+
+def _capabilities_table() -> str:
+    capabilities = all_capabilities()
+    riscv_cores = ["SiFive U74", "T-Head C910", "SpacemiT X60"]
+    rows = [capabilities[core].as_row() for core in riscv_cores]
+    keys = ["Core", "Out-of-Order", "RVV version",
+            "Overflow interrupt support", "Upstream Linux support"]
+    widths = {k: max(len(k), max(len(str(r[k])) for r in rows)) for k in keys}
+    lines = ["  ".join(k.ljust(widths[k]) for k in keys)]
+    lines.append("  ".join("-" * widths[k] for k in keys))
+    for row in rows:
+        lines.append("  ".join(str(row[k]).ljust(widths[k]) for k in keys))
+    return "\n".join(lines)
+
+
+def cmd_capabilities(_args: argparse.Namespace) -> int:
+    print("Comparison of available RISC-V hardware capabilities (Table 1):")
+    print(_capabilities_table())
+    return 0
+
+
+def cmd_identify(args: argparse.Namespace) -> int:
+    machine = Machine(platform_by_name(args.platform))
+    print(Miniperf(machine).describe())
+    return 0
+
+
+def _build_workflow(args: argparse.Namespace) -> AnalysisWorkflow:
+    descriptor = platform_by_name(args.platform)
+    return AnalysisWorkflow(descriptor, vendor_driver=not args.no_vendor_driver)
+
+
+def cmd_stat(args: argparse.Namespace) -> int:
+    workflow = _build_workflow(args)
+    workload = sqlite3_like_workload(scale=args.scale)
+    task = workflow.machine.create_task(workload.name)
+    from repro.workloads.synthetic import TraceExecutor
+    executor = TraceExecutor(
+        workflow.machine, task,
+        instruction_factor=instruction_factor_for(workflow.descriptor.arch))
+    result = workflow.miniperf.stat(lambda: executor.run(workload), task=task)
+    print(result.format())
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    workflow = _build_workflow(args)
+    workload = sqlite3_like_workload(scale=args.scale)
+    report = workflow.profile_synthetic(
+        workload, sample_period=args.period,
+        instruction_factor=instruction_factor_for(workflow.descriptor.arch))
+    print(report.recording.describe())
+    print()
+    print(report.hotspots.format())
+    return 0
+
+
+def cmd_flamegraph(args: argparse.Namespace) -> int:
+    workflow = _build_workflow(args)
+    workload = sqlite3_like_workload(scale=args.scale)
+    report = workflow.profile_synthetic(
+        workload, sample_period=args.period,
+        instruction_factor=instruction_factor_for(workflow.descriptor.arch))
+    flame = (report.flame_instructions if args.metric == "instructions"
+             else report.flame_cycles)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_svg(flame, title=f"{workflow.machine.name} "
+                                                 f"({args.metric})"))
+        print(f"wrote {args.output}")
+    else:
+        print(render_text(flame, width=args.width))
+    return 0
+
+
+def cmd_roofline(args: argparse.Namespace) -> int:
+    descriptor = platform_by_name(args.platform)
+    runner = RooflineRunner(descriptor, enable_vectorizer=not args.no_vectorize)
+    result = runner.run_source(MATMUL_TILED_SOURCE, "matmul_tiled",
+                               matmul_args_builder(args.n), filename="matmul.c")
+    model = result.model()
+    print(render_ascii_roofline(model))
+    print()
+    print(f"kernel: {result.kernel_gflops:.2f} GFLOP/s at "
+          f"AI {result.kernel_arithmetic_intensity:.3f} FLOP/byte")
+    if args.output:
+        write_svg_roofline(model, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="miniperf",
+        description="PMU profiling and hardware-agnostic roofline analysis "
+                    "on modelled RISC-V (and x86) platforms.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("capabilities", help="print the Table-1 comparison") \
+        .set_defaults(func=cmd_capabilities)
+
+    def add_platform(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--platform", default="SpacemiT X60",
+                         help="platform name (default: SpacemiT X60)")
+        sub.add_argument("--no-vendor-driver", action="store_true",
+                         help="model a stock kernel without vendor patches")
+
+    identify = subparsers.add_parser("identify", help="cpuid-based identification")
+    add_platform(identify)
+    identify.set_defaults(func=cmd_identify)
+
+    stat = subparsers.add_parser("stat", help="counting-mode profile")
+    add_platform(stat)
+    stat.add_argument("--scale", type=int, default=1)
+    stat.set_defaults(func=cmd_stat)
+
+    record = subparsers.add_parser("record", help="sampling profile + hotspots")
+    add_platform(record)
+    record.add_argument("--scale", type=int, default=1)
+    record.add_argument("--period", type=int, default=20_000)
+    record.set_defaults(func=cmd_record)
+
+    flame = subparsers.add_parser("flamegraph", help="render a flame graph")
+    add_platform(flame)
+    flame.add_argument("--scale", type=int, default=1)
+    flame.add_argument("--period", type=int, default=20_000)
+    flame.add_argument("--metric", choices=["cycles", "instructions"],
+                       default="cycles")
+    flame.add_argument("--width", type=int, default=100)
+    flame.add_argument("--output", help="write SVG to this path")
+    flame.set_defaults(func=cmd_flamegraph)
+
+    roofline = subparsers.add_parser("roofline", help="compiler-driven roofline")
+    add_platform(roofline)
+    roofline.add_argument("-n", type=int, default=32, help="matrix dimension")
+    roofline.add_argument("--no-vectorize", action="store_true")
+    roofline.add_argument("--output", help="write SVG to this path")
+    roofline.set_defaults(func=cmd_roofline)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""The unified analysis workflow (the paper's third contribution).
+
+One object orchestrates everything the paper's open-source toolchain does:
+identify the CPU, profile a workload with the PMU workaround applied where
+needed, build hotspot tables and flame graphs from the samples, and run the
+compiler-driven roofline flow for compiled kernels -- producing a single
+report combining PMU-derived and compiler-derived views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cpu.events import HwEvent
+from repro.flamegraph import FlameNode, build_flame_graph, render_text
+from repro.miniperf import Miniperf
+from repro.miniperf.record import RecordingResult
+from repro.miniperf.report import HotspotReport
+from repro.platforms.descriptors import PlatformDescriptor
+from repro.platforms.machine import Machine
+from repro.roofline.model import RooflineModel
+from repro.roofline.plot import render_ascii_roofline
+from repro.roofline.runner import KernelRooflineResult, RooflineRunner
+from repro.workloads.synthetic import SyntheticWorkload, TraceExecutor
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one workflow run produced."""
+
+    platform: str
+    cpu_description: str = ""
+    recording: Optional[RecordingResult] = None
+    hotspots: Optional[HotspotReport] = None
+    flame_cycles: Optional[FlameNode] = None
+    flame_instructions: Optional[FlameNode] = None
+    roofline: Optional[KernelRooflineResult] = None
+
+    def format(self) -> str:
+        sections: List[str] = [self.cpu_description]
+        if self.recording is not None:
+            sections.append(self.recording.describe())
+        if self.hotspots is not None:
+            sections.append(self.hotspots.format())
+        if self.flame_cycles is not None:
+            sections.append("Flame graph (cycles):")
+            sections.append(render_text(self.flame_cycles, width=80))
+        if self.roofline is not None:
+            sections.append(render_ascii_roofline(self.roofline.model()))
+        return "\n\n".join(s for s in sections if s)
+
+
+class AnalysisWorkflow:
+    """Drives miniperf + roofline analysis for one platform."""
+
+    def __init__(self, descriptor: PlatformDescriptor, vendor_driver: bool = True):
+        self.descriptor = descriptor
+        self.machine = Machine(descriptor, vendor_driver=vendor_driver)
+        self.miniperf = Miniperf(self.machine)
+
+    # -- PMU-based flow -----------------------------------------------------------------
+
+    def profile_synthetic(self, workload: SyntheticWorkload, invocations: int = 1,
+                          sample_period: int = 20_000, seed: int = 42,
+                          instruction_factor: Optional[float] = None) -> AnalysisReport:
+        """Record a synthetic workload and build hotspots + flame graphs."""
+        task = self.machine.create_task(workload.name)
+        executor = TraceExecutor(self.machine, task, seed=seed,
+                                 instruction_factor=instruction_factor)
+
+        def run() -> None:
+            executor.run(workload, invocations=invocations)
+
+        recording = self.miniperf.record(
+            run, task=task,
+            events=(HwEvent.CYCLES, HwEvent.INSTRUCTIONS),
+            sample_period=sample_period,
+        )
+        report = AnalysisReport(
+            platform=self.machine.name,
+            cpu_description=self.miniperf.describe(),
+            recording=recording,
+            hotspots=self.miniperf.hotspots(recording),
+            flame_cycles=build_flame_graph(recording.samples, weight="samples"),
+            flame_instructions=build_flame_graph(recording.samples,
+                                                 weight="instructions"),
+        )
+        return report
+
+    # -- compiler-based flow -------------------------------------------------------------------
+
+    def roofline_kernel(self, source: str, function: str, args_builder,
+                        repeats: int = 1,
+                        enable_vectorizer: bool = True) -> KernelRooflineResult:
+        """Run the two-phase compiler-driven roofline flow for one kernel."""
+        runner = RooflineRunner(self.descriptor,
+                                enable_vectorizer=enable_vectorizer)
+        return runner.run_source(source, function, args_builder, repeats=repeats)
+
+    def full_report(self, workload: SyntheticWorkload, kernel_source: str,
+                    kernel_function: str, kernel_args_builder,
+                    invocations: int = 1) -> AnalysisReport:
+        """The complete unified workflow: PMU profiling + roofline analysis."""
+        report = self.profile_synthetic(workload, invocations=invocations)
+        report.roofline = self.roofline_kernel(kernel_source, kernel_function,
+                                               kernel_args_builder)
+        return report

@@ -1,0 +1,20 @@
+"""Execution engine: runs compiled IR on a modelled platform.
+
+The engine interprets IR for semantics (so the computed results are real and
+checkable), and for every executed instruction asks the target lowering what
+machine operations it retires, feeding those to the platform's core timing
+model.  Because the timing model publishes PMU events as it goes, sampling
+interrupts fire *during* execution with live call stacks -- the same
+observable behaviour miniperf sees on hardware.
+"""
+
+from repro.vm.memory import Memory, MemoryError_
+from repro.vm.engine import ExecutionEngine, ExecutionStats, ExternalCallError
+
+__all__ = [
+    "Memory",
+    "MemoryError_",
+    "ExecutionEngine",
+    "ExecutionStats",
+    "ExternalCallError",
+]

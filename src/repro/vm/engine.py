@@ -1,0 +1,448 @@
+"""The IR execution engine.
+
+Semantics and timing are computed together, instruction by instruction:
+
+* the *interpreter* part computes real values (loads/stores go through the
+  :class:`~repro.vm.memory.Memory`), so workload results can be checked
+  against numpy references in tests;
+* the *accounting* part lowers each executed instruction through the target
+  lowering into machine ops and retires them on the platform's core timing
+  model, which updates caches, the branch predictor and every PMU counter --
+  and therefore can raise sampling interrupts mid-run.
+
+External calls (the ``mperf_roofline_internal_*`` runtime and a small libm
+subset) are dispatched to registered Python handlers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.compiler.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CompareOp,
+    GetElementPtr,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.compiler.ir.module import BasicBlock, Function, Module
+from repro.compiler.ir.types import FloatType, IntType, PointerType, Type
+from repro.compiler.ir.values import Argument, Constant, UndefValue, Value
+from repro.compiler.targets.base import TargetLowering
+from repro.compiler.transforms.vectorize import VECTOR_WIDTH_KEY
+from repro.isa.machine_ops import MachineOp
+from repro.kernel.task import Task
+from repro.platforms.machine import Machine
+from repro.vm.memory import Memory
+
+
+class ExternalCallError(Exception):
+    """Raised when a call to an undefined external function cannot be dispatched."""
+
+
+@dataclass
+class ExecutionStats:
+    """What one engine has executed so far."""
+
+    ir_instructions: int = 0
+    machine_ops: int = 0
+    calls: int = 0
+    external_calls: int = 0
+    per_function_instructions: Dict[str, int] = field(default_factory=dict)
+
+
+#: Builtin math externals (a tiny libm) available to KernelC programs.
+_BUILTIN_MATH: Dict[str, Callable] = {
+    "sqrtf": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
+    "fabsf": abs,
+    "expf": math.exp,
+    "logf": lambda x: math.log(x) if x > 0 else float("-inf"),
+    "fminf": min,
+    "fmaxf": max,
+}
+
+
+class _Frame:
+    """One activation record."""
+
+    __slots__ = ("function", "values", "stack_token")
+
+    def __init__(self, function: Function, stack_token: int):
+        self.function = function
+        self.values: Dict[Value, object] = {}
+        self.stack_token = stack_token
+
+
+class ExecutionEngine:
+    """Interprets a module on (optionally) a modelled machine.
+
+    Parameters
+    ----------
+    module:
+        The IR module to execute.
+    machine:
+        Platform model that accounts time and PMU events.  ``None`` runs the
+        program functionally only (fast path for semantics tests).
+    target:
+        Target lowering; required when *machine* is given.
+    task:
+        The profiled task whose call stack samples should attribute to.
+    memory:
+        Shared memory object (one is created if not supplied), so callers can
+        pre-allocate and later inspect arrays.
+    external_handlers:
+        Objects with ``handles(name) -> bool`` and ``call(name, args)``
+        methods consulted (in order) for calls to declared-only functions.
+        The roofline runtime registers itself this way.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        machine: Optional[Machine] = None,
+        target: Optional[TargetLowering] = None,
+        task: Optional[Task] = None,
+        memory: Optional[Memory] = None,
+        external_handlers: Optional[Sequence[object]] = None,
+    ):
+        if machine is not None and target is None:
+            raise ValueError("a target lowering is required when a machine is given")
+        self.module = module
+        self.machine = machine
+        self.target = target
+        self.task = task
+        self.memory = memory if memory is not None else Memory()
+        self.external_handlers: List[object] = list(external_handlers or [])
+        self.stats = ExecutionStats()
+        self._vector_counters: Dict[int, int] = {}
+        self._pc_of: Dict[int, int] = {}
+        self._assign_pcs()
+        self._accounting_enabled = machine is not None
+
+    # -- setup -----------------------------------------------------------------------------
+
+    def _assign_pcs(self) -> None:
+        pc = 0x0040_0000
+        for function in self.module:
+            for block in function.blocks:
+                for inst in block.instructions:
+                    self._pc_of[id(inst)] = pc
+                    pc += 4
+
+    def register_external_handler(self, handler: object) -> None:
+        self.external_handlers.append(handler)
+
+    def set_accounting(self, enabled: bool) -> None:
+        """Temporarily disable timing/PMU accounting (used by microbenchmarks)."""
+        self._accounting_enabled = enabled and self.machine is not None
+
+    # -- public API -------------------------------------------------------------------------
+
+    def run(self, function_name: str, args: Sequence[object] = ()) -> object:
+        """Execute *function_name* with *args*; returns its return value."""
+        function = self.module.get_function(function_name)
+        if function.is_declaration:
+            raise ValueError(f"cannot run declaration @{function_name}")
+        if len(args) != len(function.args):
+            raise ValueError(
+                f"@{function_name} expects {len(function.args)} arguments, "
+                f"got {len(args)}"
+            )
+        return self._call_function(function, list(args))
+
+    # -- call machinery -----------------------------------------------------------------------
+
+    def _call_function(self, function: Function, args: List[object]) -> object:
+        frame = _Frame(function, self.memory.push_stack_frame())
+        for formal, actual in zip(function.args, args):
+            frame.values[formal] = actual
+        if self.task is not None:
+            entry_pc = 0
+            if function.blocks and function.entry_block.instructions:
+                entry_pc = self._pc_of[id(function.entry_block.instructions[0])]
+            self.task.push_frame(function.name, pc=entry_pc,
+                                 source_file=function.source_file)
+        self.stats.calls += 1
+        try:
+            return self._run_frame(frame)
+        finally:
+            self.memory.pop_stack_frame(frame.stack_token)
+            if self.task is not None:
+                self.task.pop_frame()
+
+    def _run_frame(self, frame: _Frame) -> object:
+        function = frame.function
+        per_fn = self.stats.per_function_instructions
+        block = function.entry_block
+        prev_block: Optional[BasicBlock] = None
+        while True:
+            # Phi nodes read their incoming values simultaneously.
+            phis = block.phis()
+            if phis:
+                incoming = [
+                    self._eval(frame, phi.incoming_for(prev_block)) for phi in phis
+                ]
+                for phi, value in zip(phis, incoming):
+                    frame.values[phi] = value
+                    self._account(phi, frame)
+
+            next_block: Optional[BasicBlock] = None
+            return_value: object = None
+            returned = False
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    continue
+                self.stats.ir_instructions += 1
+                per_fn[function.name] = per_fn.get(function.name, 0) + 1
+
+                if isinstance(inst, Branch):
+                    condition = bool(self._eval(frame, inst.condition))
+                    self._account(inst, frame, taken=condition)
+                    next_block = inst.then_block if condition else inst.else_block
+                    break
+                if isinstance(inst, Jump):
+                    self._account(inst, frame, taken=True)
+                    next_block = inst.target
+                    break
+                if isinstance(inst, Ret):
+                    self._account(inst, frame, taken=True)
+                    return_value = (
+                        self._eval(frame, inst.value) if inst.value is not None else None
+                    )
+                    returned = True
+                    break
+
+                result = self._execute(frame, inst)
+                if not inst.type.is_void:
+                    frame.values[inst] = result
+
+            if returned:
+                return return_value
+            if next_block is None:
+                raise RuntimeError(
+                    f"block {block.name} in @{function.name} fell through without "
+                    "a terminator"
+                )
+            prev_block, block = block, next_block
+
+    # -- instruction execution -----------------------------------------------------------------
+
+    def _eval(self, frame: _Frame, value: Optional[Value]) -> object:
+        if value is None:
+            return None
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, UndefValue):
+            return 0
+        if isinstance(value, Function):
+            return value
+        try:
+            return frame.values[value]
+        except KeyError:
+            raise RuntimeError(
+                f"value %{value.name} used before definition in @{frame.function.name}"
+            )
+
+    def _execute(self, frame: _Frame, inst: Instruction) -> object:
+        if isinstance(inst, BinaryOp):
+            result = self._execute_binary(frame, inst)
+            self._account(inst, frame)
+            return result
+        if isinstance(inst, CompareOp):
+            result = self._execute_compare(frame, inst)
+            self._account(inst, frame)
+            return result
+        if isinstance(inst, Load):
+            address = int(self._eval(frame, inst.pointer))
+            value = self.memory.load_typed(address, inst.type)
+            self._account(inst, frame, address=address)
+            return value
+        if isinstance(inst, Store):
+            address = int(self._eval(frame, inst.pointer))
+            self.memory.store_typed(address, inst.value.type,
+                                    self._eval(frame, inst.value))
+            self._account(inst, frame, address=address)
+            return None
+        if isinstance(inst, Alloca):
+            address = self.memory.stack_alloc(max(1, inst.allocated_bytes))
+            self._account(inst, frame)
+            return address
+        if isinstance(inst, GetElementPtr):
+            base = int(self._eval(frame, inst.base))
+            index = int(self._eval(frame, inst.index))
+            self._account(inst, frame)
+            return base + index * inst.element_bytes
+        if isinstance(inst, Call):
+            return self._execute_call(frame, inst)
+        if isinstance(inst, Cast):
+            result = self._execute_cast(frame, inst)
+            self._account(inst, frame)
+            return result
+        if isinstance(inst, Select):
+            condition = bool(self._eval(frame, inst.condition))
+            result = self._eval(frame, inst.true_value if condition else inst.false_value)
+            self._account(inst, frame)
+            return result
+        raise RuntimeError(f"cannot execute instruction {inst.opcode}")
+
+    def _execute_binary(self, frame: _Frame, inst: BinaryOp) -> object:
+        lhs = self._eval(frame, inst.lhs)
+        rhs = self._eval(frame, inst.rhs)
+        opcode = inst.opcode
+        if inst.is_float_op:
+            lhs, rhs = float(lhs), float(rhs)
+            if opcode == "fadd":
+                return lhs + rhs
+            if opcode == "fsub":
+                return lhs - rhs
+            if opcode == "fmul":
+                return lhs * rhs
+            if opcode == "fdiv":
+                return lhs / rhs if rhs != 0.0 else math.copysign(float("inf"), lhs)
+            if opcode == "frem":
+                return math.fmod(lhs, rhs) if rhs != 0.0 else float("nan")
+        a, b = int(lhs), int(rhs)
+        type_ = inst.type
+        assert isinstance(type_, IntType)
+        if opcode == "add":
+            return type_.wrap(a + b)
+        if opcode == "sub":
+            return type_.wrap(a - b)
+        if opcode == "mul":
+            return type_.wrap(a * b)
+        if opcode in ("sdiv", "udiv"):
+            if b == 0:
+                return 0
+            quotient = abs(a) // abs(b)
+            return type_.wrap(-quotient if (a < 0) != (b < 0) else quotient)
+        if opcode in ("srem", "urem"):
+            if b == 0:
+                return 0
+            quotient = abs(a) // abs(b)
+            signed = -quotient if (a < 0) != (b < 0) else quotient
+            return type_.wrap(a - b * signed)
+        if opcode == "and":
+            return type_.wrap(a & b)
+        if opcode == "or":
+            return type_.wrap(a | b)
+        if opcode == "xor":
+            return type_.wrap(a ^ b)
+        if opcode == "shl":
+            return type_.wrap(a << (b % type_.bits))
+        if opcode == "lshr":
+            mask = (1 << type_.bits) - 1
+            return type_.wrap((a & mask) >> (b % type_.bits))
+        if opcode == "ashr":
+            return type_.wrap(a >> (b % type_.bits))
+        raise RuntimeError(f"unhandled binary opcode {opcode}")
+
+    def _execute_compare(self, frame: _Frame, inst: CompareOp) -> int:
+        lhs = self._eval(frame, inst.lhs)
+        rhs = self._eval(frame, inst.rhs)
+        predicate = inst.predicate
+        if inst.opcode == "fcmp":
+            a, b = float(lhs), float(rhs)
+            table = {
+                "oeq": a == b, "one": a != b, "olt": a < b,
+                "ole": a <= b, "ogt": a > b, "oge": a >= b,
+            }
+            return int(table[predicate])
+        a, b = int(lhs), int(rhs)
+        if predicate.startswith("u"):
+            bits = inst.lhs.type.bits if isinstance(inst.lhs.type, IntType) else 64
+            mask = (1 << bits) - 1
+            a &= mask
+            b &= mask
+        table = {
+            "eq": a == b, "ne": a != b,
+            "slt": a < b, "sle": a <= b, "sgt": a > b, "sge": a >= b,
+            "ult": a < b, "ule": a <= b, "ugt": a > b, "uge": a >= b,
+        }
+        return int(table[predicate])
+
+    def _execute_cast(self, frame: _Frame, inst: Cast) -> object:
+        value = self._eval(frame, inst.value)
+        opcode = inst.opcode
+        to_type = inst.type
+        if opcode in ("sext", "zext", "trunc"):
+            assert isinstance(to_type, IntType)
+            return to_type.wrap(int(value))
+        if opcode in ("fpext", "fptrunc"):
+            if isinstance(to_type, FloatType) and to_type.bits == 32:
+                import struct as _struct
+                return _struct.unpack("<f", _struct.pack("<f", float(value)))[0]
+            return float(value)
+        if opcode == "sitofp":
+            return float(int(value))
+        if opcode == "fptosi":
+            assert isinstance(to_type, IntType)
+            return to_type.wrap(int(value))
+        if opcode in ("bitcast", "inttoptr", "ptrtoint"):
+            return value
+        raise RuntimeError(f"unhandled cast opcode {opcode}")
+
+    def _execute_call(self, frame: _Frame, inst: Call) -> object:
+        args = [self._eval(frame, a) for a in inst.operands]
+        self._account(inst, frame)
+        callee = inst.callee
+        callee_fn: Optional[Function] = None
+        if isinstance(callee, Function):
+            callee_fn = callee
+        elif isinstance(callee, str) and self.module.has_function(callee):
+            callee_fn = self.module.get_function(callee)
+
+        if callee_fn is not None and not callee_fn.is_declaration:
+            return self._call_function(callee_fn, args)
+        name = callee if isinstance(callee, str) else callee.name
+        return self._dispatch_external(name, args)
+
+    def _dispatch_external(self, name: str, args: List[object]) -> object:
+        self.stats.external_calls += 1
+        for handler in self.external_handlers:
+            if handler.handles(name):
+                return handler.call(name, args)
+        builtin = _BUILTIN_MATH.get(name)
+        if builtin is not None:
+            return builtin(*[float(a) for a in args])
+        raise ExternalCallError(
+            f"no handler registered for external function @{name}"
+        )
+
+    # -- accounting ---------------------------------------------------------------------------
+
+    def _account(self, inst: Instruction, frame: _Frame,
+                 address: Optional[int] = None, taken: bool = False) -> None:
+        if not self._accounting_enabled:
+            return
+        assert self.machine is not None and self.target is not None
+        vector_width = 0
+        annotated = inst.metadata.get(VECTOR_WIDTH_KEY, 0)
+        if annotated and self.target.supports_vector:
+            # One vector machine op is retired every `width` executions of the
+            # annotated instruction; the other executions are lanes of it.
+            width = min(int(annotated), self.target.vector_sp_lanes)
+            if width > 1:
+                key = id(inst)
+                count = self._vector_counters.get(key, 0) + 1
+                self._vector_counters[key] = count
+                if count % width != 0:
+                    return
+                vector_width = width
+        pc = self._pc_of.get(id(inst), 0)
+        ops = self.target.lower(inst, address=address, taken=taken, pc=pc,
+                                vector_width=vector_width)
+        task = self.task
+        for op in ops:
+            self.stats.machine_ops += 1
+            self.machine.execute(op, task)

@@ -1,0 +1,53 @@
+"""Workloads used by the evaluation.
+
+Two families:
+
+* **Compiled kernels** (:mod:`repro.workloads.kernels`) -- KernelC sources
+  (the paper's tiled matmul, plus dot product, STREAM triad, stencil and
+  memset) that run through the full compiler + VM pipeline; used by the
+  roofline experiments (Figure 4).
+* **Synthetic call-tree workloads** (:mod:`repro.workloads.synthetic` and
+  :mod:`repro.workloads.sqlite3_like`) -- trace generators that drive the
+  machine model with a realistic call-stack structure and instruction mix;
+  the sqlite3-like workload reproduces the hotspot distribution of the
+  paper's Table 2 / Figure 3 without needing the real sqlite3 amalgamation.
+"""
+
+from repro.workloads.kernels import (
+    MATMUL_TILED_SOURCE,
+    MATMUL_NAIVE_SOURCE,
+    DOT_PRODUCT_SOURCE,
+    STREAM_TRIAD_SOURCE,
+    STENCIL_SOURCE,
+    MEMSET_SOURCE,
+    matmul_args_builder,
+    dot_args_builder,
+    triad_args_builder,
+    stencil_args_builder,
+)
+from repro.workloads.synthetic import (
+    SyntheticFunction,
+    SyntheticWorkload,
+    InstructionMix,
+    TraceExecutor,
+)
+from repro.workloads.sqlite3_like import sqlite3_like_workload, SQLITE3_HOT_FUNCTIONS
+
+__all__ = [
+    "MATMUL_TILED_SOURCE",
+    "MATMUL_NAIVE_SOURCE",
+    "DOT_PRODUCT_SOURCE",
+    "STREAM_TRIAD_SOURCE",
+    "STENCIL_SOURCE",
+    "MEMSET_SOURCE",
+    "matmul_args_builder",
+    "dot_args_builder",
+    "triad_args_builder",
+    "stencil_args_builder",
+    "SyntheticFunction",
+    "SyntheticWorkload",
+    "InstructionMix",
+    "TraceExecutor",
+    "sqlite3_like_workload",
+    "SQLITE3_HOT_FUNCTIONS",
+]

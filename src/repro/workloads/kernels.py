@@ -1,0 +1,139 @@
+"""KernelC sources for the compiled workloads.
+
+``MATMUL_TILED_SOURCE`` is, modulo the TILE_SIZE literal, the exact kernel
+printed in the paper's Section 5.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.vm.memory import Memory
+
+#: The paper's tiled matmul kernel (TILE_SIZE = 32).
+MATMUL_TILED_SOURCE = """
+void matmul_tiled(float* A, float* B, float* C, long n) {
+  for (long ii = 0; ii < n; ii += 32) {
+    for (long jj = 0; jj < n; jj += 32) {
+      for (long kk = 0; kk < n; kk += 32) {
+        for (long i = ii; i < ii + 32 && i < n; i++) {
+          for (long j = jj; j < jj + 32 && j < n; j++) {
+            float sum = C[i * n + j];
+            for (long k = kk; k < kk + 32 && k < n; k++) {
+              sum += A[i * n + k] * B[k * n + j];
+            }
+            C[i * n + j] = sum;
+          }
+        }
+      }
+    }
+  }
+}
+"""
+
+#: Untiled baseline used by the tiling ablation.
+MATMUL_NAIVE_SOURCE = """
+void matmul_naive(float* A, float* B, float* C, long n) {
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) {
+      float sum = 0.0f;
+      for (long k = 0; k < n; k++) {
+        sum += A[i * n + k] * B[k * n + j];
+      }
+      C[i * n + j] = sum;
+    }
+  }
+}
+"""
+
+DOT_PRODUCT_SOURCE = """
+float dot(float* a, float* b, long n) {
+  float sum = 0.0f;
+  for (long i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+"""
+
+STREAM_TRIAD_SOURCE = """
+void triad(float* a, float* b, float* c, float scalar, long n) {
+  for (long i = 0; i < n; i++) {
+    a[i] = b[i] + scalar * c[i];
+  }
+}
+"""
+
+STENCIL_SOURCE = """
+void stencil3(float* dst, float* src, long n) {
+  for (long i = 1; i < n - 1; i++) {
+    dst[i] = 0.25f * src[i - 1] + 0.5f * src[i] + 0.25f * src[i + 1];
+  }
+}
+"""
+
+MEMSET_SOURCE = """
+void fill(float* dst, float value, long n) {
+  for (long i = 0; i < n; i++) {
+    dst[i] = value;
+  }
+}
+"""
+
+
+def _random_floats(count: int, seed: int) -> List[float]:
+    generator = random.Random(seed)
+    return [generator.random() for _ in range(count)]
+
+
+def matmul_args_builder(n: int, seed: int = 7):
+    """Args builder for the matmul kernels: allocates A, B, C of size n x n."""
+
+    def build(memory: Memory) -> Sequence[object]:
+        a = memory.alloc_float_array(_random_floats(n * n, seed))
+        b = memory.alloc_float_array(_random_floats(n * n, seed + 1))
+        c = memory.alloc_float_array([0.0] * (n * n))
+        return [a, b, c, n]
+
+    return build
+
+
+def dot_args_builder(n: int, seed: int = 11):
+    def build(memory: Memory) -> Sequence[object]:
+        a = memory.alloc_float_array(_random_floats(n, seed))
+        b = memory.alloc_float_array(_random_floats(n, seed + 1))
+        return [a, b, n]
+
+    return build
+
+
+def triad_args_builder(n: int, scalar: float = 3.0, seed: int = 13):
+    def build(memory: Memory) -> Sequence[object]:
+        a = memory.alloc_float_array([0.0] * n)
+        b = memory.alloc_float_array(_random_floats(n, seed))
+        c = memory.alloc_float_array(_random_floats(n, seed + 1))
+        return [a, b, c, scalar, n]
+
+    return build
+
+
+def stencil_args_builder(n: int, seed: int = 17):
+    def build(memory: Memory) -> Sequence[object]:
+        dst = memory.alloc_float_array([0.0] * n)
+        src = memory.alloc_float_array(_random_floats(n, seed))
+        return [dst, src, n]
+
+    return build
+
+
+def analytic_matmul_counts(n: int) -> dict:
+    """Closed-form operation counts for an n x n x n matmul.
+
+    Used by tests to check the IR-derived instrumentation counts: 2*n^3
+    floating-point operations (one multiply and one add per inner iteration).
+    """
+    return {
+        "fp_ops": 2 * n ** 3,
+        "inner_iterations": n ** 3,
+    }

@@ -1,0 +1,213 @@
+"""Synthetic call-tree workloads and their trace executor.
+
+The paper profiles sqlite3 from the LLVM test suite -- billions of dynamic
+instructions through a deep call tree.  Interpreting that much real code is
+out of reach for a Python substrate, so hotspot/flame-graph experiments use
+*synthetic workloads*: a call tree whose functions have configurable
+instruction mixes, working-set sizes and relative weights.  The
+:class:`TraceExecutor` walks the tree and drives the very same machine model
+(caches, branch predictor, PMU, sampling interrupts) the compiled kernels
+use, pushing and popping real task stack frames so perf samples carry real
+call chains.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.machine_ops import MachineOp, OpClass
+from repro.kernel.task import Task
+from repro.platforms.machine import Machine
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of each operation class in a function's body.
+
+    The fractions need not sum to one; they are normalised.  Loads/stores get
+    addresses generated over a working set of ``working_set_bytes`` with a
+    mix of sequential and pseudo-random accesses (``locality`` = fraction of
+    sequential accesses), which is what determines cache behaviour.
+    """
+
+    int_alu: float = 0.45
+    int_mul: float = 0.02
+    loads: float = 0.25
+    stores: float = 0.08
+    branches: float = 0.15
+    fp: float = 0.0
+    calls: float = 0.0
+    working_set_bytes: int = 64 * 1024
+    locality: float = 0.7
+    branch_taken_fraction: float = 0.6
+    branch_predictability: float = 0.9
+
+    def normalised(self) -> List[Tuple[str, float]]:
+        entries = [
+            ("int_alu", self.int_alu), ("int_mul", self.int_mul),
+            ("loads", self.loads), ("stores", self.stores),
+            ("branches", self.branches), ("fp", self.fp),
+        ]
+        total = sum(weight for _, weight in entries) or 1.0
+        return [(name, weight / total) for name, weight in entries]
+
+
+@dataclass
+class SyntheticFunction:
+    """One function in the synthetic call tree."""
+
+    name: str
+    #: Units of work done per invocation (each unit is one machine op).
+    ops_per_call: int
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    #: Child calls per invocation: (callee name, how many calls).
+    callees: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class SyntheticWorkload:
+    """A named call tree with an entry point."""
+
+    name: str
+    entry: str
+    functions: Dict[str, SyntheticFunction] = field(default_factory=dict)
+    #: Multiplier applied to ops_per_call, used to model ISAs that need more
+    #: instructions for the same work (the paper's x86 build of sqlite3
+    #: retires ~1.8x more instructions than the RISC-V build).
+    instruction_factor: float = 1.0
+
+    def add(self, function: SyntheticFunction) -> SyntheticFunction:
+        self.functions[function.name] = function
+        return self
+
+    def function(self, name: str) -> SyntheticFunction:
+        return self.functions[name]
+
+    def scaled(self, factor: float) -> "SyntheticWorkload":
+        clone = SyntheticWorkload(self.name, self.entry,
+                                  dict(self.functions), factor)
+        return clone
+
+
+class TraceExecutor:
+    """Executes a synthetic workload on a machine model."""
+
+    def __init__(self, machine: Machine, task: Task, seed: int = 42,
+                 instruction_factor: Optional[float] = None):
+        self.machine = machine
+        self.task = task
+        self.random = random.Random(seed)
+        self.instruction_factor = instruction_factor
+        self._base_addresses: Dict[str, int] = {}
+        self._next_base = 0x2000_0000
+        self._sequential_cursor: Dict[str, int] = {}
+        self._pc_counter = 0x0100_0000
+
+    # -- address generation -------------------------------------------------------------
+
+    def _address_for(self, function: SyntheticFunction) -> int:
+        base = self._base_addresses.get(function.name)
+        if base is None:
+            base = self._next_base
+            self._base_addresses[function.name] = base
+            self._next_base += max(function.mix.working_set_bytes, 4096) * 2
+            self._sequential_cursor[function.name] = 0
+        working_set = max(64, function.mix.working_set_bytes)
+        if self.random.random() < function.mix.locality:
+            cursor = self._sequential_cursor[function.name]
+            self._sequential_cursor[function.name] = (cursor + 8) % working_set
+            return base + cursor
+        return base + (self.random.randrange(working_set) & ~0x7)
+
+    def _pc(self, function: SyntheticFunction, slot: int) -> int:
+        return (hash(function.name) & 0xFFFF) * 0x100 + (slot % 64) * 4 + 0x0100_0000
+
+    # -- execution -------------------------------------------------------------------------
+
+    def run(self, workload: SyntheticWorkload, invocations: int = 1) -> None:
+        factor = (
+            self.instruction_factor
+            if self.instruction_factor is not None
+            else workload.instruction_factor
+        )
+        for _ in range(invocations):
+            self._run_function(workload, workload.function(workload.entry), factor)
+
+    def _run_function(self, workload: SyntheticWorkload,
+                      function: SyntheticFunction, factor: float) -> None:
+        machine = self.machine
+        task = self.task
+        task.push_frame(function.name)
+        machine.execute(MachineOp(OpClass.CALL, taken=True,
+                                  pc=self._pc(function, 0)), task)
+        try:
+            ops = max(1, int(function.ops_per_call * factor))
+            entries = function.mix.normalised()
+            callees = list(function.callees)
+            # Interleave child calls evenly through the body.
+            call_points = set()
+            total_calls = sum(count for _, count in callees)
+            if total_calls:
+                stride = max(1, ops // (total_calls + 1))
+                position = stride
+                for callee_name, count in callees:
+                    for _ in range(count):
+                        call_points.add((position, callee_name))
+                        position += stride
+
+            pending_calls = sorted(call_points)
+            next_call_index = 0
+            for slot in range(ops):
+                while (next_call_index < len(pending_calls)
+                       and pending_calls[next_call_index][0] == slot):
+                    callee_name = pending_calls[next_call_index][1]
+                    next_call_index += 1
+                    self._run_function(workload, workload.function(callee_name), factor)
+                self._emit_op(function, entries, slot)
+            # Any calls scheduled past the body length still happen.
+            while next_call_index < len(pending_calls):
+                callee_name = pending_calls[next_call_index][1]
+                next_call_index += 1
+                self._run_function(workload, workload.function(callee_name), factor)
+        finally:
+            machine.execute(MachineOp(OpClass.RET, taken=True,
+                                      pc=self._pc(function, 1)), task)
+            task.pop_frame()
+
+    def _emit_op(self, function: SyntheticFunction,
+                 entries: Sequence[Tuple[str, float]], slot: int) -> None:
+        draw = self.random.random()
+        cumulative = 0.0
+        kind = entries[-1][0]
+        for name, weight in entries:
+            cumulative += weight
+            if draw <= cumulative:
+                kind = name
+                break
+        pc = self._pc(function, slot)
+        machine = self.machine
+        task = self.task
+        mix = function.mix
+        if kind == "int_alu":
+            machine.execute(MachineOp(OpClass.INT_ALU, pc=pc), task)
+        elif kind == "int_mul":
+            machine.execute(MachineOp(OpClass.INT_MUL, pc=pc), task)
+        elif kind == "loads":
+            machine.execute(MachineOp(OpClass.LOAD, size_bytes=8,
+                                      address=self._address_for(function), pc=pc), task)
+        elif kind == "stores":
+            machine.execute(MachineOp(OpClass.STORE, size_bytes=8,
+                                      address=self._address_for(function), pc=pc), task)
+        elif kind == "fp":
+            machine.execute(MachineOp(OpClass.FP_MUL, pc=pc), task)
+        else:  # branches
+            predictable = self.random.random() < mix.branch_predictability
+            taken = (
+                self.random.random() < mix.branch_taken_fraction
+                if not predictable
+                else (slot % 8) != 0
+            )
+            machine.execute(MachineOp(OpClass.BRANCH, taken=taken,
+                                      target=pc + 16, pc=pc), task)

@@ -1,0 +1,230 @@
+"""Tests for the IR: types, builder, printer/parser round-trip, verifier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.frontend import compile_source
+from repro.compiler.ir import (
+    F32,
+    F64,
+    I1,
+    I32,
+    I64,
+    IRBuilder,
+    FunctionType,
+    Module,
+    PointerType,
+    VectorType,
+    VerificationError,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.compiler.ir.instructions import BinaryOp, Jump, Ret
+from repro.compiler.ir.parser import IRParseError
+from repro.compiler.ir.types import IntType, named_type
+from repro.compiler.ir.values import Constant
+
+
+class TestTypes:
+    def test_sizes(self):
+        assert I32.size_bytes() == 4
+        assert I64.size_bytes() == 8
+        assert F32.size_bytes() == 4
+        assert F64.size_bytes() == 8
+        assert PointerType(F32).size_bytes() == 8
+        assert VectorType(F32, 8).size_bytes() == 32
+
+    def test_equality_and_hash(self):
+        assert IntType(32) == I32
+        assert hash(IntType(32)) == hash(I32)
+        assert I32 != I64
+        assert PointerType(F32) == PointerType(F32)
+
+    def test_int_wrap(self):
+        assert I32.wrap(2 ** 31) == -(2 ** 31)
+        assert I32.wrap(-1) == -1
+        assert I1.wrap(3) == 1
+
+    def test_named_type(self):
+        assert named_type("i64") is not None and named_type("i64") == I64
+        assert named_type("bogus") is None
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(24)
+        with pytest.raises(ValueError):
+            VectorType(PointerType(I8:= IntType(8)), 4)
+
+
+class TestBuilderAndVerifier:
+    def _simple_module(self):
+        module = Module("m")
+        function = module.create_function("addmul", FunctionType(I64, [I64, I64]),
+                                          ["a", "b"])
+        block = function.add_block("entry")
+        builder = IRBuilder(block)
+        total = builder.add(function.args[0], function.args[1])
+        product = builder.mul(total, function.args[1])
+        builder.ret(product)
+        return module
+
+    def test_builder_constructs_verified_module(self):
+        module = self._simple_module()
+        verify_module(module)
+        function = module.get_function("addmul")
+        assert function.instruction_count() == 3
+
+    def test_missing_terminator_detected(self):
+        module = Module("m")
+        function = module.create_function("f", FunctionType(I64, [I64]), ["x"])
+        block = function.add_block("entry")
+        builder = IRBuilder(block)
+        builder.add(function.args[0], Constant(I64, 1))
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_return_type_mismatch_detected(self):
+        module = Module("m")
+        function = module.create_function("f", FunctionType(I64, []), [])
+        block = function.add_block("entry")
+        builder = IRBuilder(block)
+        builder.ret(Constant(I32, 0))
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_type_mismatch_in_binary_op_rejected_at_construction(self):
+        with pytest.raises(TypeError):
+            BinaryOp("add", Constant(I64, 1), Constant(I32, 1))
+
+    def test_call_arg_count_checked(self):
+        module = Module("m")
+        callee = module.create_function("callee", FunctionType(I64, [I64]), ["x"])
+        callee_block = callee.add_block("entry")
+        IRBuilder(callee_block).ret(callee.args[0])
+        caller = module.create_function("caller", FunctionType(I64, []), [])
+        block = caller.add_block("entry")
+        builder = IRBuilder(block)
+        result = builder.call(callee, [])     # wrong arity
+        builder.ret(result)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_store_type_mismatch(self):
+        module = Module("m")
+        function = module.create_function("f", FunctionType(I64, []), [])
+        block = function.add_block("entry")
+        builder = IRBuilder(block)
+        slot = builder.alloca(F32)
+        with pytest.raises(TypeError):
+            builder.store(Constant(I64, 3), slot)
+
+    def test_multiple_terminators_rejected_by_block(self):
+        module = Module("m")
+        function = module.create_function("f", FunctionType(I64, []), [])
+        block = function.add_block("entry")
+        block.append(Ret(Constant(I64, 0)))
+        with pytest.raises(ValueError):
+            block.append(Ret(Constant(I64, 0)))
+
+
+SOURCE_DOT = """
+float dot(float* a, float* b, long n) {
+  float sum = 0.0;
+  for (long i = 0; i < n; i++) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+"""
+
+SOURCE_BRANCHY = """
+long collatz_steps(long x, long limit) {
+  long steps = 0;
+  while (x > 1 && steps < limit) {
+    if (x % 2 == 0) {
+      x = x / 2;
+    } else {
+      x = 3 * x + 1;
+    }
+    steps++;
+  }
+  return steps;
+}
+"""
+
+
+class TestPrinterParserRoundTrip:
+    @pytest.mark.parametrize("source", [SOURCE_DOT, SOURCE_BRANCHY])
+    def test_roundtrip_preserves_structure(self, source):
+        module = compile_source(source, "t.c")
+        text = print_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        text2 = print_module(reparsed)
+        assert text == text2       # printing is a fixed point after one round trip
+        for function in module.defined_functions():
+            other = reparsed.get_function(function.name)
+            assert len(other.blocks) == len(function.blocks)
+            assert other.instruction_count() == function.instruction_count()
+
+    def test_declarations_roundtrip(self):
+        module = compile_source(SOURCE_DOT, "t.c")
+        module.declare_function("sink", FunctionType(F32, [F32, I64]))
+        reparsed = parse_module(print_module(module))
+        assert reparsed.get_function("sink").is_declaration
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises(IRParseError):
+            parse_module("define broken {\n}")
+
+    def test_parse_error_on_undefined_value(self):
+        text = """
+define i64 @f(i64 %x) {
+entry:
+  %y = add i64 %x, %missing
+  ret i64 %y
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+    def test_parse_error_on_unknown_instruction(self):
+        text = """
+define void @f() {
+entry:
+  frobnicate i64 1
+  ret void
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+
+@st.composite
+def random_expression_source(draw):
+    """Generate a tiny KernelC function computing an integer expression."""
+    n_statements = draw(st.integers(min_value=1, max_value=4))
+    lines = ["long f(long a, long b) {", "  long x = a + 1;", "  long y = b + 2;"]
+    variables = ["a", "b", "x", "y"]
+    operators = ["+", "-", "*"]
+    for i in range(n_statements):
+        lhs = draw(st.sampled_from(variables))
+        rhs = draw(st.sampled_from(variables))
+        op = draw(st.sampled_from(operators))
+        lines.append(f"  long t{i} = {lhs} {op} {rhs};")
+        variables.append(f"t{i}")
+    lines.append(f"  return {variables[-1]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class TestRoundTripProperty:
+    @given(random_expression_source())
+    @settings(max_examples=30, deadline=None)
+    def test_random_programs_roundtrip(self, source):
+        module = compile_source(source, "gen.c")
+        text = print_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert print_module(reparsed) == text

@@ -1,0 +1,223 @@
+"""Tests for the cache hierarchy, branch predictors and core timing models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.branch import AlwaysTakenPredictor, GsharePredictor
+from repro.cpu.cache import Cache, CacheConfig, CacheHierarchy, MemoryConfig
+from repro.cpu.core import CoreConfig, InOrderCore, OutOfOrderCore
+from repro.cpu.events import EventBus, EventCounts, HwEvent
+from repro.isa.machine_ops import MachineOp, OpClass, branch, load
+
+
+def small_hierarchy():
+    return CacheHierarchy(
+        [CacheConfig("L1D", 1024, line_bytes=64, associativity=2, hit_latency=2),
+         CacheConfig("L2", 8192, line_bytes=64, associativity=4, hit_latency=10)],
+        MemoryConfig(latency_cycles=100, peak_bytes_per_cycle=4.0),
+    )
+
+
+class TestEventBus:
+    def test_totals_accumulate(self):
+        bus = EventBus()
+        bus.publish(HwEvent.CYCLES, 10)
+        bus.publish(HwEvent.CYCLES, 5)
+        assert bus.totals.get(HwEvent.CYCLES) == 15
+
+    def test_observers_receive_increments(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e, n: seen.append((e, n)))
+        bus.publish(HwEvent.INSTRUCTIONS, 3)
+        assert seen == [(HwEvent.INSTRUCTIONS, 3)]
+
+    def test_zero_increment_is_dropped(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e, n: seen.append((e, n)))
+        bus.publish(HwEvent.CYCLES, 0)
+        assert seen == []
+
+    def test_negative_increment_rejected(self):
+        counts = EventCounts()
+        with pytest.raises(ValueError):
+            counts.add(HwEvent.CYCLES, -5)
+
+    def test_merge(self):
+        a = EventCounts({HwEvent.CYCLES: 10})
+        b = EventCounts({HwEvent.CYCLES: 5, HwEvent.INSTRUCTIONS: 2})
+        merged = a.merge(b)
+        assert merged[HwEvent.CYCLES] == 15
+        assert merged[HwEvent.INSTRUCTIONS] == 2
+
+
+class TestCache:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, line_bytes=48)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 100, line_bytes=64, associativity=8)
+
+    def test_repeat_access_hits(self):
+        hierarchy = small_hierarchy()
+        first = hierarchy.access(0x1000, 8, is_store=False)
+        second = hierarchy.access(0x1000, 8, is_store=False)
+        assert first.hit_level == "DRAM"
+        assert second.hit_level == "L1D"
+        assert second.latency < first.latency
+
+    def test_eviction_by_capacity(self):
+        hierarchy = small_hierarchy()
+        # Touch far more lines than L1 can hold; early lines must be evicted.
+        for i in range(64):
+            hierarchy.access(i * 64, 8, is_store=False)
+        result = hierarchy.access(0, 8, is_store=False)
+        assert result.hit_level in ("L2", "DRAM")
+
+    def test_writeback_counted_on_dirty_eviction(self):
+        config = CacheConfig("L1", 128, line_bytes=64, associativity=1, hit_latency=1)
+        hierarchy = CacheHierarchy([config], MemoryConfig(latency_cycles=50))
+        hierarchy.access(0, 8, is_store=True)        # set 0, dirty
+        hierarchy.access(128, 8, is_store=False)     # evicts dirty line (same set)
+        assert hierarchy.levels[0].writebacks == 1
+        assert hierarchy.dram_write_bytes == 64
+
+    def test_lru_order(self):
+        config = CacheConfig("L1", 128, line_bytes=64, associativity=2, hit_latency=1)
+        hierarchy = CacheHierarchy([config], MemoryConfig(latency_cycles=50))
+        hierarchy.access(0, 8, False)      # line A
+        hierarchy.access(128, 8, False)    # line B (same set)
+        hierarchy.access(0, 8, False)      # touch A: B is now LRU
+        hierarchy.access(256, 8, False)    # evicts B
+        assert hierarchy.access(0, 8, False).hit_level == "L1"
+        assert hierarchy.access(128, 8, False).hit_level != "L1"
+
+    def test_access_spanning_lines(self):
+        hierarchy = small_hierarchy()
+        result = hierarchy.access(60, 16, is_store=False)  # crosses a 64B boundary
+        assert result.dram_bytes >= 128
+
+    def test_stats_and_reset(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0, 8, False)
+        stats = hierarchy.stats()
+        assert stats["L1D"]["misses"] == 1
+        hierarchy.reset_stats()
+        assert hierarchy.stats()["L1D"]["misses"] == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        hierarchy = small_hierarchy()
+        for address in addresses:
+            # Single-byte accesses never straddle a line, so each call is
+            # exactly one L1 lookup.
+            hierarchy.access(address, 1, is_store=False)
+        l1 = hierarchy.levels[0]
+        assert l1.hits + l1.misses == l1.accesses == len(addresses)
+        assert 0.0 <= l1.miss_rate <= 1.0
+
+
+class TestBranchPredictors:
+    def test_gshare_learns_stable_pattern(self):
+        predictor = GsharePredictor()
+        for _ in range(200):
+            predictor.update(0x400, 0x500, True)
+        late = [predictor.update(0x400, 0x500, True) for _ in range(50)]
+        assert sum(late) == 0          # no mispredictions once learned
+        assert predictor.miss_rate < 0.2
+
+    def test_always_taken_counts_not_taken_as_miss(self):
+        predictor = AlwaysTakenPredictor()
+        predictor.update(0, 0, False)
+        predictor.update(0, 0, True)
+        assert predictor.mispredictions == 1
+        assert predictor.predictions == 2
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_miss_rate_bounded(self, outcomes):
+        predictor = GsharePredictor()
+        for taken in outcomes:
+            predictor.update(0x1234, 0, taken)
+        assert 0.0 <= predictor.miss_rate <= 1.0
+        assert predictor.predictions == len(outcomes)
+
+
+def make_core(out_of_order: bool):
+    bus = EventBus()
+    hierarchy = small_hierarchy()
+    config = CoreConfig(name="test", frequency_hz=1e9, issue_width=2,
+                        out_of_order=out_of_order)
+    cls = OutOfOrderCore if out_of_order else InOrderCore
+    return cls(config, hierarchy, bus), bus
+
+
+class TestCoreTiming:
+    def test_cycles_and_instructions_advance(self):
+        core, bus = make_core(False)
+        for _ in range(100):
+            core.retire(MachineOp(OpClass.INT_ALU))
+        assert core.retired_instructions == 100
+        assert core.total_cycles > 0
+        assert bus.totals.get(HwEvent.INSTRUCTIONS) == 100
+        assert bus.totals.get(HwEvent.CYCLES) == core.total_cycles
+
+    def test_in_order_ipc_close_to_issue_width_for_alu(self):
+        core, _ = make_core(False)
+        for _ in range(1000):
+            core.retire(MachineOp(OpClass.INT_ALU))
+        assert 1.5 <= core.ipc <= 2.05
+
+    def test_out_of_order_hides_more_latency_than_in_order(self):
+        in_order, _ = make_core(False)
+        out_of_order, _ = make_core(True)
+        ops = [load(8, address=(i * 64) % 4096) for i in range(500)]
+        for op in ops:
+            in_order.retire(op)
+        for op in ops:
+            out_of_order.retire(op)
+        assert out_of_order.total_cycles < in_order.total_cycles
+
+    def test_division_slower_than_alu(self):
+        core_a, _ = make_core(False)
+        core_b, _ = make_core(False)
+        for _ in range(200):
+            core_a.retire(MachineOp(OpClass.INT_ALU))
+            core_b.retire(MachineOp(OpClass.INT_DIV))
+        assert core_b.total_cycles > core_a.total_cycles
+
+    def test_branch_events_published(self):
+        core, bus = make_core(False)
+        for i in range(100):
+            core.retire(branch(taken=(i % 3 == 0), target=0x10, pc=0x40))
+        assert bus.totals.get(HwEvent.BRANCH_INSTRUCTIONS) == 100
+        assert bus.totals.get(HwEvent.BRANCH_MISSES) > 0
+
+    def test_mode_cycle_events_follow_privilege(self):
+        core, bus = make_core(False)
+        from repro.isa.privilege import PrivilegeMode
+        core.set_privilege_mode(PrivilegeMode.SUPERVISOR)
+        for _ in range(50):
+            core.retire(MachineOp(OpClass.INT_ALU))
+        assert bus.totals.get(HwEvent.S_MODE_CYCLE) > 0
+        assert bus.totals.get(HwEvent.U_MODE_CYCLE) == 0
+
+    def test_fp_ops_event(self):
+        core, bus = make_core(False)
+        core.retire(MachineOp(OpClass.FP_FMA))
+        core.retire(MachineOp(OpClass.VECTOR_FMA, lanes=8))
+        assert bus.totals.get(HwEvent.FP_OPS_RETIRED) == 2 + 16
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(name="bad", frequency_hz=0)
+        with pytest.raises(ValueError):
+            CoreConfig(name="bad", frequency_hz=1e9, dependency_exposure=2.0)
+
+    def test_elapsed_seconds(self):
+        core, _ = make_core(False)
+        for _ in range(100):
+            core.retire(MachineOp(OpClass.INT_ALU))
+        assert core.elapsed_seconds() == pytest.approx(core.total_cycles / 1e9)

@@ -1,0 +1,223 @@
+"""Tests for miniperf (cpuid, group planning, stat/record/report) and flame graphs."""
+
+import pytest
+
+from repro.cpu.events import HwEvent
+from repro.flamegraph import (
+    build_flame_graph,
+    diff_flame_graphs,
+    fold_stacks,
+    render_svg,
+    render_text,
+)
+from repro.kernel.ring_buffer import SampleRecord
+from repro.miniperf import Miniperf, identify_machine, plan_sampling_group
+from repro.miniperf.cpuid import UnknownCpuError, identify
+from repro.miniperf.correction import reconcile_group_samples, scale_multiplexed
+from repro.miniperf.groups import SamplingNotSupportedError
+from repro.isa.csr import CpuIdentity
+from repro.kernel.perf_event import PerfReadValue
+from repro.platforms import Machine, intel_i5_1135g7, sifive_u74, spacemit_x60, thead_c910
+from repro.workloads.sqlite3_like import sqlite3_like_workload
+from repro.workloads.synthetic import InstructionMix, SyntheticFunction, SyntheticWorkload, TraceExecutor
+
+
+class TestCpuid:
+    def test_identify_all_platforms(self):
+        for descriptor in (spacemit_x60(), sifive_u74(), thead_c910(), intel_i5_1135g7()):
+            info = identify_machine(Machine(descriptor))
+            assert descriptor.name == info.core
+
+    def test_x60_needs_workaround(self):
+        info = identify_machine(Machine(spacemit_x60()))
+        assert info.needs_group_leader_workaround
+        assert info.workaround_leader_event is HwEvent.U_MODE_CYCLE
+        assert info.sampling_possible
+
+    def test_u74_cannot_sample(self):
+        info = identify_machine(Machine(sifive_u74()))
+        assert not info.sampling_possible
+
+    def test_unknown_vendor_rejected(self):
+        with pytest.raises(UnknownCpuError):
+            identify(CpuIdentity(mvendorid=0xABCDEF, marchid=0, mimpid=0))
+
+
+class TestGroupPlanning:
+    def test_x60_plan_uses_vendor_leader(self):
+        info = identify_machine(Machine(spacemit_x60()))
+        plan = plan_sampling_group(info, [HwEvent.CYCLES, HwEvent.INSTRUCTIONS], 10_000)
+        assert plan.used_workaround
+        assert plan.leader_event is HwEvent.U_MODE_CYCLE
+        assert plan.member_events == [HwEvent.CYCLES, HwEvent.INSTRUCTIONS]
+        assert "workaround" in plan.describe()
+
+    def test_intel_plan_is_direct(self):
+        info = identify_machine(Machine(intel_i5_1135g7()))
+        plan = plan_sampling_group(info, [HwEvent.CYCLES, HwEvent.INSTRUCTIONS], 10_000)
+        assert not plan.used_workaround
+        assert plan.leader_event is HwEvent.CYCLES
+        assert plan.member_events == [HwEvent.INSTRUCTIONS]
+
+    def test_u74_plan_raises(self):
+        info = identify_machine(Machine(sifive_u74()))
+        with pytest.raises(SamplingNotSupportedError):
+            plan_sampling_group(info, [HwEvent.CYCLES], 1000)
+
+    def test_invalid_period(self):
+        info = identify_machine(Machine(intel_i5_1135g7()))
+        with pytest.raises(ValueError):
+            plan_sampling_group(info, [HwEvent.CYCLES], 0)
+
+    def test_leader_attr_has_group_read(self):
+        from repro.kernel.perf_event import ReadFormat, SampleType
+        info = identify_machine(Machine(spacemit_x60()))
+        plan = plan_sampling_group(info, [HwEvent.CYCLES], 1000)
+        attr = plan.leader_attr()
+        assert SampleType.READ in attr.sample_type
+        assert ReadFormat.GROUP in attr.read_format
+        assert attr.sample_period == 1000
+
+
+def tiny_workload() -> SyntheticWorkload:
+    workload = SyntheticWorkload(name="tiny", entry="main")
+    mix = InstructionMix(working_set_bytes=4096, locality=0.9)
+    workload.add(SyntheticFunction("leaf_a", 3000, mix))
+    workload.add(SyntheticFunction("leaf_b", 1000, mix))
+    workload.add(SyntheticFunction("main", 500, mix,
+                                   callees=[("leaf_a", 2), ("leaf_b", 1)]))
+    return workload
+
+
+class TestMiniperfStatRecord:
+    def test_stat_counts_and_ipc(self):
+        machine = Machine(spacemit_x60())
+        tool = Miniperf(machine)
+        task = machine.create_task("tiny")
+        executor = TraceExecutor(machine, task, seed=1)
+        result = tool.stat(lambda: executor.run(tiny_workload()), task=task)
+        assert result.count(HwEvent.INSTRUCTIONS) > 5000
+        assert result.count(HwEvent.CYCLES) > 0
+        assert 0.0 < result.ipc < 2.5
+        assert "IPC" in result.format()
+
+    def test_record_uses_workaround_on_x60_and_direct_on_intel(self):
+        for descriptor, expect_workaround in ((spacemit_x60(), True),
+                                              (intel_i5_1135g7(), False)):
+            machine = Machine(descriptor)
+            tool = Miniperf(machine)
+            task = machine.create_task("tiny")
+            executor = TraceExecutor(machine, task, seed=1)
+            recording = tool.record(lambda: executor.run(tiny_workload()),
+                                    task=task, sample_period=600)
+            assert recording.plan.used_workaround is expect_workaround
+            assert recording.sample_count >= 3
+            assert recording.total(HwEvent.INSTRUCTIONS) > 0
+            assert recording.overall_ipc > 0
+
+    def test_hotspot_report_orders_by_samples(self):
+        machine = Machine(spacemit_x60())
+        tool = Miniperf(machine)
+        task = machine.create_task("tiny")
+        executor = TraceExecutor(machine, task, seed=1)
+        recording = tool.record(lambda: executor.run(tiny_workload()),
+                                task=task, sample_period=1500)
+        report = tool.hotspots(recording)
+        assert report.total_samples == recording.sample_count
+        assert report.rows[0].samples >= report.rows[-1].samples
+        # leaf_a does 6000 units vs leaf_b's 1000: it must rank first.
+        assert report.rows[0].function == "leaf_a"
+        text = report.format()
+        assert "leaf_a" in text and "IPC" in text
+
+    def test_sqlite3_like_top_hotspots_on_x60(self):
+        machine = Machine(spacemit_x60())
+        tool = Miniperf(machine)
+        task = machine.create_task("sqlite")
+        executor = TraceExecutor(machine, task, seed=2)
+        recording = tool.record(lambda: executor.run(sqlite3_like_workload()),
+                                task=task, sample_period=8000)
+        report = tool.hotspots(recording)
+        top_names = {row.function for row in report.top(5)}
+        assert "sqlite3VdbeExec" in top_names
+        assert {"patternCompare", "sqlite3BtreeParseCellPtr"} & top_names
+
+
+class TestCorrection:
+    def test_scaling(self):
+        read = PerfReadValue(value=500, time_enabled=1000, time_running=500)
+        corrected = scale_multiplexed("cycles", read)
+        assert corrected.scaled == pytest.approx(1000.0)
+        assert corrected.multiplex_fraction == pytest.approx(0.5)
+
+    def test_scaling_never_ran(self):
+        read = PerfReadValue(value=0, time_enabled=1000, time_running=0)
+        assert scale_multiplexed("cycles", read).scaled == 0.0
+
+    def test_reconcile_group_samples(self):
+        samples = [
+            SampleRecord(ip=0, pid=1, tid=1, time=i, period=1, event="u_mode_cycle",
+                         group_values={"u_mode_cycle": 100 * i, "cycles": 100 * i + 1})
+            for i in range(1, 5)
+        ]
+        stats = reconcile_group_samples(samples, "u_mode_cycle", "cycles")
+        assert stats["samples"] == 4
+        assert stats["mean_divergence"] < 0.05
+        assert stats["outlier_fraction"] == 0.0
+
+
+def make_samples():
+    stacks = [
+        ("hot", "middle", "main"),
+        ("hot", "middle", "main"),
+        ("hot", "middle", "main"),
+        ("cold", "main"),
+    ]
+    samples = []
+    for i, chain in enumerate(stacks):
+        samples.append(SampleRecord(
+            ip=i, pid=1, tid=1, time=i, period=1, event="cycles",
+            callchain=chain,
+            group_values={"instructions": (i + 1) * 100, "cycles": (i + 1) * 120},
+        ))
+    return samples
+
+
+class TestFlameGraph:
+    def test_structure_and_weights(self):
+        root = build_flame_graph(make_samples())
+        assert root.value == 4
+        main = root.find("main")
+        assert main is not None and main.value == 4
+        hot = root.find("hot")
+        assert hot.value == 3 and hot.self_value == 3
+        assert root.frame_fraction("hot") == pytest.approx(0.75)
+
+    def test_event_weighting_uses_deltas(self):
+        root = build_flame_graph(make_samples(), weight="instructions")
+        # Deltas are 100 per sample: total 400.
+        assert root.value == 400
+
+    def test_folded_output(self):
+        lines = fold_stacks(make_samples())
+        assert "main;middle;hot 3" in lines
+        assert "main;cold 1" in lines
+
+    def test_text_and_svg_render(self):
+        root = build_flame_graph(make_samples())
+        text = render_text(root, width=60)
+        assert "main" in text
+        svg = render_svg(root, title="test")
+        assert svg.startswith("<svg") and "main" in svg
+
+    def test_diff(self):
+        a = build_flame_graph(make_samples())
+        b = build_flame_graph(make_samples()[:3])   # only the hot path
+        diffs = diff_flame_graphs(a, b)
+        by_name = {d.function: d for d in diffs}
+        assert by_name["cold"].fraction_b == 0.0
+        assert by_name["hot"].fraction_b > by_name["hot"].fraction_a
+
+    def test_empty_flame_graph(self):
+        root = build_flame_graph([])
+        assert render_text(root) == "(empty flame graph)"

@@ -1,0 +1,288 @@
+"""Tests for the PMU hardware, SBI firmware and perf_event kernel layers.
+
+This file covers the paper's Section 3: the privilege chain
+(kernel -> SBI -> machine CSRs), per-vendor PMU capabilities (Table 1), and
+the perf_event group semantics that make the X60 workaround possible.
+"""
+
+import pytest
+
+from repro.cpu.events import EventBus, HwEvent
+from repro.isa.machine_ops import MachineOp, OpClass
+from repro.isa.privilege import PrivilegeMode
+from repro.kernel import (
+    PerfEventAttr,
+    PerfEventOpenError,
+    ReadFormat,
+    SampleType,
+)
+from repro.kernel.drivers import EventInitError
+from repro.platforms import (
+    Machine,
+    intel_i5_1135g7,
+    sifive_u74,
+    spacemit_x60,
+    thead_c910,
+)
+from repro.pmu.counters import HardwareCounter, SamplingUnsupportedError
+from repro.pmu.vendors import (
+    IntelTigerLakePmu,
+    SiFiveU74Pmu,
+    SpacemitX60Pmu,
+    TheadC910Pmu,
+    all_capabilities,
+    pmu_for_identity,
+    X60_IDENTITY,
+)
+from repro.sbi.firmware import SBI_EXT_BASE, BASE_PROBE_EXTENSION, SbiError
+from repro.sbi.pmu_ext import (
+    PMU_COUNTER_CFG_MATCHING,
+    PMU_COUNTER_FW_READ,
+    PMU_COUNTER_START,
+    PMU_NUM_COUNTERS,
+    SBI_EXT_PMU,
+)
+
+
+class TestHardwareCounter:
+    def test_counts_only_configured_event_when_running(self):
+        counter = HardwareCounter(3, supports_sampling=True)
+        counter.configure(HwEvent.CYCLES)
+        counter.count(HwEvent.CYCLES, 10)        # not running yet
+        counter.start()
+        counter.count(HwEvent.CYCLES, 10)
+        counter.count(HwEvent.INSTRUCTIONS, 99)  # wrong event
+        assert counter.read() == 10
+
+    def test_sampling_unsupported_raises(self):
+        counter = HardwareCounter(0, supports_sampling=False)
+        with pytest.raises(SamplingUnsupportedError):
+            counter.arm_sampling(100, lambda overflow: None)
+
+    def test_overflow_fires_every_period(self):
+        overflows = []
+        counter = HardwareCounter(3, supports_sampling=True)
+        counter.configure(HwEvent.CYCLES)
+        counter.arm_sampling(100, overflows.append)
+        counter.start()
+        for _ in range(10):
+            counter.count(HwEvent.CYCLES, 55)
+        assert len(overflows) == 5    # 550 pulses / period 100
+        assert all(o.period == 100 for o in overflows)
+
+    def test_large_increment_spanning_periods(self):
+        overflows = []
+        counter = HardwareCounter(3, supports_sampling=True)
+        counter.configure(HwEvent.CYCLES)
+        counter.arm_sampling(10, overflows.append)
+        counter.start()
+        assert counter.count(HwEvent.CYCLES, 35) == 3
+
+    def test_width_wraparound(self):
+        counter = HardwareCounter(3, supports_sampling=True, width_bits=8)
+        counter.configure(HwEvent.CYCLES)
+        counter.start()
+        counter.count(HwEvent.CYCLES, 300)
+        assert counter.read() == 300 % 256
+
+
+class TestVendorPmus:
+    def test_table1_capabilities(self):
+        capabilities = all_capabilities()
+        u74 = capabilities["SiFive U74"]
+        c910 = capabilities["T-Head C910"]
+        x60 = capabilities["SpacemiT X60"]
+        assert not u74.out_of_order and u74.rvv_version is None
+        assert u74.overflow_interrupt_support == "no" and u74.upstream_linux == "yes"
+        assert c910.out_of_order and c910.rvv_version == "0.7.1"
+        assert c910.overflow_interrupt_support == "yes" and c910.upstream_linux == "partial"
+        assert not x60.out_of_order and x60.rvv_version == "1.0"
+        assert x60.overflow_interrupt_support == "limited" and x60.upstream_linux == "no"
+
+    def test_x60_fixed_counters_cannot_sample_but_mode_cycles_can(self):
+        pmu = SpacemitX60Pmu(EventBus())
+        assert not pmu.event_supports_sampling(HwEvent.CYCLES)
+        assert not pmu.event_supports_sampling(HwEvent.INSTRUCTIONS)
+        assert pmu.event_supports_sampling(HwEvent.U_MODE_CYCLE)
+
+    def test_u74_cannot_sample_anything(self):
+        pmu = SiFiveU74Pmu(EventBus())
+        assert not pmu.event_supports_sampling(HwEvent.CYCLES)
+        with pytest.raises(SamplingUnsupportedError):
+            pmu.allocate_counter(HwEvent.CYCLES, need_sampling=True)
+
+    def test_c910_and_intel_sample_cycles_directly(self):
+        for cls in (TheadC910Pmu, IntelTigerLakePmu):
+            pmu = cls(EventBus())
+            assert pmu.event_supports_sampling(HwEvent.CYCLES)
+
+    def test_pmu_for_identity(self):
+        pmu = pmu_for_identity(X60_IDENTITY, EventBus())
+        assert isinstance(pmu, SpacemitX60Pmu)
+
+    def test_counters_observe_bus(self):
+        bus = EventBus()
+        pmu = SpacemitX60Pmu(bus)
+        index = pmu.allocate_counter(HwEvent.CYCLES, need_sampling=False)
+        pmu.start_counter(index)
+        bus.publish(HwEvent.CYCLES, 500)
+        assert pmu.read_counter(index) == 500
+
+
+class TestSbi:
+    def _machine(self):
+        return Machine(spacemit_x60())
+
+    def test_base_extension_probe(self):
+        machine = self._machine()
+        ret = machine.sbi.ecall(SBI_EXT_BASE, BASE_PROBE_EXTENSION, [SBI_EXT_PMU])
+        assert ret.ok and ret.value == 1
+
+    def test_user_mode_cannot_ecall(self):
+        machine = self._machine()
+        ret = machine.sbi.ecall(SBI_EXT_PMU, PMU_NUM_COUNTERS, [],
+                                caller_mode=PrivilegeMode.USER)
+        assert ret.error is SbiError.DENIED
+
+    def test_num_counters(self):
+        machine = self._machine()
+        ret = machine.sbi.ecall(SBI_EXT_PMU, PMU_NUM_COUNTERS)
+        assert ret.ok
+        assert ret.value == len(machine.pmu.counter_indices())
+
+    def test_config_matching_programs_and_delegates(self):
+        machine = self._machine()
+        code = machine.pmu.event_code(HwEvent.U_MODE_CYCLE)
+        ret = machine.sbi.ecall(SBI_EXT_PMU, PMU_COUNTER_CFG_MATCHING,
+                                [3, 0xFFFF, 0, code])
+        assert ret.ok
+        chosen = ret.value
+        assert machine.csr.event_selector(chosen) == code
+        assert machine.csr.supervisor_can_read(chosen)
+
+    def test_unknown_event_code_not_supported(self):
+        machine = self._machine()
+        ret = machine.sbi.ecall(SBI_EXT_PMU, PMU_COUNTER_CFG_MATCHING,
+                                [3, 0xFFFF, 0, 0xDEAD])
+        assert ret.error is SbiError.NOT_SUPPORTED
+
+    def test_fw_read_roundtrip(self):
+        machine = self._machine()
+        code = machine.pmu.event_code(HwEvent.CYCLES)
+        cfg = machine.sbi.ecall(SBI_EXT_PMU, PMU_COUNTER_CFG_MATCHING,
+                                [0, 0xFFFFFFFF, 0, code])
+        machine.sbi.ecall(SBI_EXT_PMU, PMU_COUNTER_START, [cfg.value, 0, 0])
+        for _ in range(10):
+            machine.execute(MachineOp(OpClass.INT_ALU))
+        read = machine.sbi.ecall(SBI_EXT_PMU, PMU_COUNTER_FW_READ, [cfg.value])
+        assert read.ok and read.value > 0
+
+
+class TestPerfEvent:
+    def _x60(self):
+        machine = Machine(spacemit_x60())
+        return machine, machine.create_task("bench")
+
+    def _run(self, machine, task, ops=5000):
+        for i in range(ops):
+            machine.execute(MachineOp(OpClass.INT_ALU, pc=0x1000 + (i % 32) * 4), task)
+
+    def test_counting_mode_works_on_every_platform(self):
+        for descriptor in (spacemit_x60(), sifive_u74(), thead_c910(), intel_i5_1135g7()):
+            machine = Machine(descriptor)
+            task = machine.create_task("t")
+            fd = machine.perf.perf_event_open(PerfEventAttr(event=HwEvent.INSTRUCTIONS), task)
+            machine.perf.enable(fd)
+            self._run(machine, task, 1000)
+            machine.perf.disable(fd)
+            assert machine.perf.read(fd).value == 1000
+
+    def test_naive_cycle_sampling_fails_on_x60_with_eopnotsupp(self):
+        machine, task = self._x60()
+        with pytest.raises(PerfEventOpenError) as excinfo:
+            machine.perf.perf_event_open(
+                PerfEventAttr(event=HwEvent.CYCLES, sample_period=1000), task)
+        assert excinfo.value.errno_name == "EOPNOTSUPP"
+
+    def test_sampling_fails_entirely_on_u74(self):
+        machine = Machine(sifive_u74())
+        task = machine.create_task("t")
+        with pytest.raises(PerfEventOpenError):
+            machine.perf.perf_event_open(
+                PerfEventAttr(event=HwEvent.CYCLES, sample_period=1000), task)
+
+    def test_group_leader_workaround_samples_cycles_and_instret_on_x60(self):
+        machine, task = self._x60()
+        leader_attr = PerfEventAttr(
+            event=HwEvent.U_MODE_CYCLE, sample_period=2000,
+            sample_type=frozenset({SampleType.IP, SampleType.CALLCHAIN, SampleType.READ}),
+            read_format=frozenset({ReadFormat.GROUP}),
+        )
+        leader = machine.perf.perf_event_open(leader_attr, task)
+        machine.perf.perf_event_open(PerfEventAttr(event=HwEvent.CYCLES), task, group_fd=leader)
+        machine.perf.perf_event_open(PerfEventAttr(event=HwEvent.INSTRUCTIONS), task,
+                                     group_fd=leader)
+        machine.perf.enable(leader)
+        task.push_frame("main")
+        task.push_frame("hot_loop")
+        self._run(machine, task, 20000)
+        machine.perf.disable(leader)
+        samples = machine.perf.mmap(leader).drain()
+        assert len(samples) > 3
+        sample = samples[-1]
+        assert sample.group_values["cycles"] > 0
+        assert sample.group_values["instructions"] > 0
+        assert sample.callchain[0] == "hot_loop"
+
+    def test_x60_vendor_events_invisible_without_vendor_driver(self):
+        machine = Machine(spacemit_x60(), vendor_driver=False)
+        task = machine.create_task("t")
+        with pytest.raises(PerfEventOpenError) as excinfo:
+            machine.perf.perf_event_open(
+                PerfEventAttr(event=HwEvent.U_MODE_CYCLE, sample_period=1000), task)
+        assert excinfo.value.errno_name in ("ENOENT", "EOPNOTSUPP")
+
+    def test_direct_cycle_sampling_works_on_intel(self):
+        machine = Machine(intel_i5_1135g7())
+        task = machine.create_task("t")
+        fd = machine.perf.perf_event_open(
+            PerfEventAttr(event=HwEvent.CYCLES, sample_period=500,
+                          sample_type=frozenset({SampleType.IP})), task)
+        machine.perf.enable(fd)
+        self._run(machine, task, 10000)
+        machine.perf.disable(fd)
+        assert len(machine.perf.mmap(fd)) > 0
+
+    def test_bad_group_fd_rejected(self):
+        machine, task = self._x60()
+        with pytest.raises(PerfEventOpenError) as excinfo:
+            machine.perf.perf_event_open(PerfEventAttr(event=HwEvent.CYCLES), task,
+                                         group_fd=999)
+        assert excinfo.value.errno_name == "EBADF"
+
+    def test_time_enabled_and_running_accounting(self):
+        machine, task = self._x60()
+        fd = machine.perf.perf_event_open(PerfEventAttr(event=HwEvent.CYCLES), task)
+        machine.perf.enable(fd)
+        self._run(machine, task, 2000)
+        machine.perf.disable(fd)
+        read = machine.perf.read(fd)
+        assert read.time_enabled > 0
+        assert read.time_running == read.time_enabled
+        assert read.scaling_factor == pytest.approx(1.0)
+
+    def test_unknown_event_enoent(self):
+        machine = Machine(sifive_u74())
+        task = machine.create_task("t")
+        with pytest.raises(PerfEventOpenError) as excinfo:
+            machine.perf.perf_event_open(PerfEventAttr(event=HwEvent.U_MODE_CYCLE), task)
+        assert excinfo.value.errno_name == "ENOENT"
+
+    def test_ring_buffer_lost_records(self):
+        from repro.kernel.ring_buffer import RingBuffer, SampleRecord
+        buffer = RingBuffer(capacity=2)
+        for i in range(5):
+            buffer.write(SampleRecord(ip=i, pid=1, tid=1, time=i, period=1, event="cycles"))
+        assert len(buffer) == 2
+        assert buffer.lost == 3
+        assert buffer.total_written == 2
