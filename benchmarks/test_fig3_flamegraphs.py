@@ -14,6 +14,9 @@ import os
 import pytest
 
 from repro.flamegraph import build_flame_graph, render_svg, render_text
+
+#: Full synthetic sqlite3 profiles on two platforms (see pytest.ini).
+pytestmark = pytest.mark.slow
 from repro.flamegraph.render_text import render_summary
 from repro.miniperf import Miniperf
 from repro.platforms import Machine, intel_i5_1135g7, spacemit_x60

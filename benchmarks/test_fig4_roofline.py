@@ -103,6 +103,7 @@ def test_fig4_roofline(benchmark, descriptor, short, output_dir):
     assert result.kernel_gflops > 0
 
 
+@pytest.mark.slow
 def test_fig4_cross_platform_shape(benchmark):
     def run_both():
         return run_roofline(spacemit_x60()), run_roofline(intel_i5_1135g7())

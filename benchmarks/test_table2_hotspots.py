@@ -15,6 +15,10 @@ Shape checks (the reproduction criterion, not absolute numbers):
 import pytest
 
 from repro.miniperf import Miniperf
+
+#: Full synthetic sqlite3 profiles on two platforms: the heaviest tests in
+#: the suite (see pytest.ini for the fast lane).
+pytestmark = pytest.mark.slow
 from repro.platforms import Machine, intel_i5_1135g7, spacemit_x60
 from repro.workloads.sqlite3_like import (
     SQLITE3_HOT_FUNCTIONS,

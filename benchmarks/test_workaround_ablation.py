@@ -47,6 +47,7 @@ def test_naive_sampling_fails_with_eopnotsupp(benchmark):
     assert errno_name == "EOPNOTSUPP"
 
 
+@pytest.mark.slow
 def test_workaround_delivers_ipc_samples(benchmark):
     def run():
         machine = Machine(spacemit_x60())
@@ -104,6 +105,7 @@ def test_cpuid_identification_needs_no_perf_events(benchmark):
               f"{'yes' if info.needs_group_leader_workaround else 'no'}")
 
 
+@pytest.mark.slow
 def test_sampling_period_sensitivity():
     """Smaller periods give more samples (until ring-buffer loss kicks in)."""
     counts = {}

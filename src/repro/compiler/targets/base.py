@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+import weakref
+from typing import List, Optional, Tuple
 
 from repro.compiler.ir.instructions import (
     Alloca,
@@ -66,6 +67,12 @@ class TargetLowering:
     address_gen_ops = 1
     call_overhead_ops = 1
 
+    def __init__(self) -> None:
+        # Memoized lowering results for the execution engine's fast dispatch,
+        # keyed weakly by instruction so a long-lived target does not pin
+        # modules (and so a recycled object id can never alias a stale entry).
+        self._lower_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
     # -- main entry --------------------------------------------------------------------
 
     def lower(self, inst: Instruction, address: Optional[int] = None,
@@ -115,6 +122,28 @@ class TargetLowering:
         if isinstance(inst, (Phi, Select)):
             return [MachineOp(OpClass.INT_ALU, pc=pc)] if isinstance(inst, Select) else []
         return [MachineOp(OpClass.NOP, pc=pc)]
+
+    def lower_cached(self, inst: Instruction, taken: bool = False, pc: int = 0,
+                     vector_width: int = 0) -> Tuple[MachineOp, ...]:
+        """Memoized :meth:`lower` for the engine's predecode phase.
+
+        The result is cached per ``(instruction, taken, vector_width)``;
+        memory instructions are lowered with ``address=None`` and the engine
+        patches the effective address into the cached template per execution.
+        Lowerings must therefore be pure functions of those keys, which every
+        built-in target satisfies.
+        """
+        per_inst = self._lower_cache.get(inst)
+        if per_inst is None:
+            per_inst = {}
+            self._lower_cache[inst] = per_inst
+        key = (taken, vector_width)
+        ops = per_inst.get(key)
+        if ops is None:
+            ops = tuple(self.lower(inst, address=None, taken=taken, pc=pc,
+                                   vector_width=vector_width))
+            per_inst[key] = ops
+        return ops
 
     # -- pieces -------------------------------------------------------------------------
 

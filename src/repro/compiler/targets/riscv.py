@@ -34,6 +34,7 @@ class RV64GCVTarget(TargetLowering):
     call_overhead_ops = 2
 
     def __init__(self, vlen_bits: int = 256):
+        super().__init__()
         if vlen_bits <= 0 or vlen_bits % 32 != 0:
             raise ValueError("vlen_bits must be a positive multiple of 32")
         self.vlen_bits = vlen_bits

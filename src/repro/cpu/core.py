@@ -23,13 +23,26 @@ for sampling interrupts to fire mid-run, exactly as on hardware).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cpu.branch import BranchPredictor, GsharePredictor
 from repro.cpu.cache import AccessResult, CacheHierarchy
 from repro.cpu.events import EventBus, HwEvent
-from repro.isa.machine_ops import MachineOp, OpClass
+from repro.isa.machine_ops import (
+    FLOP_OP_CLASSES,
+    MEMORY_OP_CLASSES,
+    MachineOp,
+    OpClass,
+    VECTOR_OP_CLASSES,
+)
 from repro.isa.privilege import ModeCycleAccounting, PrivilegeMode
+
+#: Privilege mode -> the vendor per-mode cycle event it pulses.
+_MODE_CYCLE_EVENT = {
+    PrivilegeMode.USER: HwEvent.U_MODE_CYCLE,
+    PrivilegeMode.SUPERVISOR: HwEvent.S_MODE_CYCLE,
+    PrivilegeMode.MACHINE: HwEvent.M_MODE_CYCLE,
+}
 
 
 #: Default operation latencies (cycles), roughly matching published numbers
@@ -194,6 +207,148 @@ class CoreTimingModel:
             dram_bytes=mem.dram_bytes if mem else 0,
         )
 
+    def retire_batch(self, ops: Sequence[MachineOp]) -> int:
+        """Retire a chunk of ops with coalesced event publication.
+
+        Microarchitectural state (cache hierarchy, branch predictor, the
+        fractional-cycle remainder) advances op by op in stream order, so the
+        per-op integer cycle sequence is identical to calling :meth:`retire`
+        in a loop.  Only the event-bus publications are aggregated into one
+        pulse per event per batch, which is observationally identical *as
+        long as no armed sampling counter is listening* -- final counter
+        values and bus totals match exactly, but a mid-batch overflow
+        interrupt would fire at the flush instead of at the triggering op.
+        :meth:`~repro.platforms.machine.Machine.execute_batch` enforces that
+        precondition by falling back to per-op retirement while sampling is
+        armed.  Returns the total integer cycles the batch consumed.
+        """
+        cfg = self.config
+        access = self.hierarchy.access
+        predictor_update = self.predictor.update
+        op_cost = self._op_cost
+        remainder = self._cycle_remainder
+
+        count = 0
+        cycles_total = 0
+        frontend_total = 0.0
+        backend_total = 0.0
+        frontend_pulses = 0
+        backend_pulses = 0
+        loads = stores = cache_refs = 0
+        load_misses = store_misses = llc_misses = 0
+        dram_read = dram_write = 0
+        branches = branch_misses = 0
+        flops = int_ops = vector_ops = 0
+
+        for op in ops:
+            count += 1
+            opclass = op.opclass
+            mem: Optional[AccessResult] = None
+            mispredicted = False
+            is_memory = opclass in MEMORY_OP_CLASSES
+            if is_memory and op.address is not None and op.size_bytes > 0:
+                mem = access(op.address, op.size_bytes, op.is_store)
+            if opclass is OpClass.BRANCH:
+                mispredicted = predictor_update(op.pc, op.target, op.taken)
+
+            base, frontend, backend = op_cost(op, mem, mispredicted)
+            frontend_total += frontend
+            backend_total += backend
+            total = base + frontend + backend
+            remainder += total
+            cycles = int(remainder)
+            remainder -= cycles
+            cycles_total += cycles
+
+            is_load = opclass is OpClass.LOAD or opclass is OpClass.VECTOR_LOAD
+            is_store = opclass is OpClass.STORE or opclass is OpClass.VECTOR_STORE
+            if is_load:
+                loads += 1
+            elif is_store:
+                stores += 1
+            if is_memory:
+                cache_refs += 1
+                if mem is not None:
+                    if mem.l1_miss:
+                        if is_load:
+                            load_misses += 1
+                        else:
+                            store_misses += 1
+                    if mem.llc_miss:
+                        llc_misses += 1
+                    if mem.dram_bytes:
+                        if is_store:
+                            dram_write += mem.dram_bytes
+                        else:
+                            dram_read += mem.dram_bytes
+
+            if opclass is OpClass.BRANCH:
+                branches += 1
+                if mispredicted:
+                    branch_misses += 1
+
+            if opclass is OpClass.FP_FMA or opclass is OpClass.VECTOR_FMA:
+                flops += 2 * op.lanes
+            elif opclass in FLOP_OP_CLASSES:
+                flops += op.lanes
+            if (opclass is OpClass.INT_ALU or opclass is OpClass.INT_MUL
+                    or opclass is OpClass.INT_DIV or opclass is OpClass.VECTOR_ALU):
+                int_ops += op.lanes
+            if opclass in VECTOR_OP_CLASSES:
+                vector_ops += 1
+
+            if frontend >= 1.0:
+                frontend_pulses += int(frontend)
+            if backend >= 1.0:
+                backend_pulses += int(backend)
+
+        self._cycle_remainder = remainder
+        self.total_cycles += cycles_total
+        self.retired_instructions += count
+        self.frontend_stall_cycles += frontend_total
+        self.backend_stall_cycles += backend_total
+        self.mode_cycles.add(self.privilege_mode, cycles_total)
+
+        publish = self.bus.publish
+        if cycles_total:
+            publish(HwEvent.CYCLES, cycles_total)
+            publish(_MODE_CYCLE_EVENT[self.privilege_mode], cycles_total)
+        if count:
+            publish(HwEvent.INSTRUCTIONS, count)
+        if loads:
+            publish(HwEvent.LOADS_RETIRED, loads)
+            publish(HwEvent.L1D_LOADS, loads)
+        if stores:
+            publish(HwEvent.STORES_RETIRED, stores)
+            publish(HwEvent.L1D_STORES, stores)
+        if cache_refs:
+            publish(HwEvent.CACHE_REFERENCES, cache_refs)
+        if load_misses:
+            publish(HwEvent.L1D_LOAD_MISSES, load_misses)
+        if store_misses:
+            publish(HwEvent.L1D_STORE_MISSES, store_misses)
+        if llc_misses:
+            publish(HwEvent.CACHE_MISSES, llc_misses)
+        if dram_read:
+            publish(HwEvent.DRAM_READ_BYTES, dram_read)
+        if dram_write:
+            publish(HwEvent.DRAM_WRITE_BYTES, dram_write)
+        if branches:
+            publish(HwEvent.BRANCH_INSTRUCTIONS, branches)
+        if branch_misses:
+            publish(HwEvent.BRANCH_MISSES, branch_misses)
+        if flops:
+            publish(HwEvent.FP_OPS_RETIRED, flops)
+        if int_ops:
+            publish(HwEvent.INT_OPS_RETIRED, int_ops)
+        if vector_ops:
+            publish(HwEvent.VECTOR_OPS_RETIRED, vector_ops)
+        if frontend_pulses:
+            publish(HwEvent.STALLED_CYCLES_FRONTEND, frontend_pulses)
+        if backend_pulses:
+            publish(HwEvent.STALLED_CYCLES_BACKEND, backend_pulses)
+        return cycles_total
+
     # -- event publication ------------------------------------------------------
 
     def _publish(self, op: MachineOp, mem: Optional[AccessResult],
@@ -202,12 +357,7 @@ class CoreTimingModel:
         bus = self.bus
         if cycles:
             bus.publish(HwEvent.CYCLES, cycles)
-            mode_event = {
-                PrivilegeMode.USER: HwEvent.U_MODE_CYCLE,
-                PrivilegeMode.SUPERVISOR: HwEvent.S_MODE_CYCLE,
-                PrivilegeMode.MACHINE: HwEvent.M_MODE_CYCLE,
-            }[self.privilege_mode]
-            bus.publish(mode_event, cycles)
+            bus.publish(_MODE_CYCLE_EVENT[self.privilege_mode], cycles)
         bus.publish(HwEvent.INSTRUCTIONS, 1)
 
         if op.is_load:

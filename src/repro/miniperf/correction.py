@@ -69,9 +69,12 @@ def reconcile_group_samples(samples: List[SampleRecord],
     for sample in samples:
         leader = sample.group_values.get(leader_event)
         proxied = sample.group_values.get(proxy_for)
-        if not leader or not proxied:
+        # A count of zero is a legitimate reading (e.g. a sample taken before
+        # the proxied counter ticked); only a *missing* value drops the sample.
+        if leader is None or proxied is None:
             continue
-        diffs.append(abs(leader - proxied) / max(leader, proxied))
+        denominator = max(leader, proxied)
+        diffs.append(abs(leader - proxied) / denominator if denominator else 0.0)
     if not diffs:
         return {"samples": 0, "mean_divergence": 0.0, "outlier_fraction": 0.0}
     outliers = sum(1 for d in diffs if d > tolerance)

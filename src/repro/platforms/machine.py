@@ -9,7 +9,7 @@ behind this object.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.cpu.branch import GsharePredictor
 from repro.cpu.cache import CacheHierarchy
@@ -109,6 +109,41 @@ class Machine:
         if task is not None and op.pc:
             task.set_pc(op.pc)
         return self.core.retire(op)
+
+    def execute_batch(self, ops: Sequence[MachineOp],
+                      task: Optional[Task] = None) -> None:
+        """Retire a chunk of machine ops (the engine's batched accounting).
+
+        While any running counter has sampling armed, every op is a potential
+        overflow boundary: ops retire one at a time with the task pc updated
+        first, exactly like :meth:`execute`, so interrupts observe the
+        precise pc/cycle/callchain state.  Otherwise event publication is
+        coalesced per chunk through
+        :meth:`~repro.cpu.core.CoreTimingModel.retire_batch`, which leaves
+        final counter values and bus totals bit-identical while removing the
+        per-op publication fan-out.
+        """
+        if not ops:
+            return
+        if self.pmu.sampling_active():
+            retire = self.core.retire
+            if task is not None:
+                set_pc = task.set_pc
+                for op in ops:
+                    if op.pc:
+                        set_pc(op.pc)
+                    retire(op)
+            else:
+                for op in ops:
+                    retire(op)
+            return
+        if task is not None:
+            # No interrupt can fire mid-batch; only the final pc is observable.
+            for op in reversed(ops):
+                if op.pc:
+                    task.set_pc(op.pc)
+                    break
+        self.core.retire_batch(ops)
 
     def set_privilege_mode(self, mode: PrivilegeMode) -> None:
         self.core.set_privilege_mode(mode)

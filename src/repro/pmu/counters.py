@@ -126,13 +126,18 @@ class HardwareCounter:
     def count(self, event: HwEvent, amount: int) -> int:
         """Accumulate *amount* pulses of *event* if this counter tracks it.
 
+        Pulses may arrive one at a time or in coalesced chunks (the core's
+        batched retirement publishes one increment per event per chunk); the
+        overflow loop below handles both identically, raising one
+        notification per period boundary the increment crosses.
+
         Returns the number of overflow notifications raised (0 almost always;
         can exceed 1 when a single large increment spans several periods).
         """
         if not self.running or self.event is not event or amount <= 0:
             return 0
         self.value = (self.value + amount) & self._mask
-        if not self.sampling_armed:
+        if self._sample_period <= 0 or self._overflow_handler is None:
             return 0
         self._since_overflow += amount
         overflows = 0

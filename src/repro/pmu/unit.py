@@ -99,13 +99,46 @@ class PmuUnit:
                 index, generic_counters_support_sampling
             )
 
+        self._dispatch: Dict[HwEvent, List[HardwareCounter]] = {}
+        self._rebuild_dispatch()
         bus.subscribe(self._on_event)
 
     # -- bus integration ----------------------------------------------------------
 
+    def _rebuild_dispatch(self) -> None:
+        """Rebuild the event -> counters routing index.
+
+        Every published pulse used to probe all counters; the index narrows
+        that to the counters whose selector is programmed with the event
+        (usually zero to two).  :meth:`HardwareCounter.count` keeps its own
+        event/running guards, so a conservative index can never over-count --
+        it only skips counters that would have ignored the pulse anyway.
+        Called whenever a selector is (re)programmed or released.
+        """
+        index: Dict[HwEvent, List[HardwareCounter]] = {}
+        for counter_index in sorted(self._counters):
+            counter = self._counters[counter_index]
+            if counter.event is not None:
+                index.setdefault(counter.event, []).append(counter)
+        self._dispatch = index
+
     def _on_event(self, event: HwEvent, amount: int) -> None:
+        counters = self._dispatch.get(event)
+        if counters:
+            for counter in counters:
+                counter.count(event, amount)
+
+    def sampling_active(self) -> bool:
+        """True when any running counter has an overflow handler armed.
+
+        The machine's batched retirement path consults this before each
+        chunk: with sampling armed every op is a potential overflow boundary
+        and retirement must stay per-op.
+        """
         for counter in self._counters.values():
-            counter.count(event, amount)
+            if counter.running and counter.sampling_armed:
+                return True
+        return False
 
     def detach(self) -> None:
         """Stop observing the event bus (used when tearing a machine down)."""
@@ -194,6 +227,7 @@ class PmuUnit:
 
     def configure_counter(self, index: int, event: HwEvent) -> None:
         self._counters[index].configure(event)
+        self._rebuild_dispatch()
 
     def release_counter(self, index: int) -> None:
         counter = self._counters[index]
@@ -202,6 +236,7 @@ class PmuUnit:
         counter.reset()
         if index not in self._fixed_events:
             counter.event = None
+            self._rebuild_dispatch()
 
     def start_counter(self, index: int) -> None:
         self._counters[index].start()

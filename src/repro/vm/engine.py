@@ -12,11 +12,46 @@ Semantics and timing are computed together, instruction by instruction:
 
 External calls (the ``mperf_roofline_internal_*`` runtime and a small libm
 subset) are dispatched to registered Python handlers.
+
+Dispatch architecture
+---------------------
+
+The engine has two dispatch strategies over the same semantics:
+
+* **Fast dispatch** (the default): each function is *predecoded* once, on
+  first entry, into per-basic-block lists of closure-compiled executor
+  thunks.  All the per-step decisions the naive interpreter repeats on every
+  dynamic instruction -- the ``isinstance`` chain over instruction classes,
+  operand classification (constant vs. SSA value), opcode/predicate table
+  lookups, integer wrap parameters, ``struct`` format selection for memory
+  accesses, vector-annotation checks and the target lowering itself -- are
+  resolved at predecode time and captured in the closures.  Target lowerings
+  are memoized per ``(instruction, taken, vector_width)`` through
+  :meth:`~repro.compiler.targets.base.TargetLowering.lower_cached`, with the
+  effective address of memory ops patched into the cached template at
+  execution time.
+
+  Retired machine ops are not handed to the machine one at a time either:
+  they accumulate in a pending buffer that is flushed in chunks through
+  :meth:`~repro.platforms.machine.Machine.execute_batch` -- at call
+  boundaries (external handlers read the machine clock), at function return
+  (before the task's stack frame pops, so samples attribute correctly) and
+  when the buffer reaches a size threshold.  ``execute_batch`` retires op by
+  op whenever a sampling counter is armed (every op is then a potential
+  overflow boundary), and aggregates event-bus publications per chunk
+  otherwise; final counter values, bus totals, sample counts and sample
+  contents are bit-identical to the per-op path.
+
+* **Slow dispatch** (``fast_dispatch=False``): the original instruction-at-
+  a-time interpreter, kept as the reference implementation.  Equivalence
+  tests run both engines on the same workload and assert identical results,
+  PMU counter values and sample streams.
 """
 
 from __future__ import annotations
 
 import math
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -37,8 +72,8 @@ from repro.compiler.ir.instructions import (
     Store,
 )
 from repro.compiler.ir.module import BasicBlock, Function, Module
-from repro.compiler.ir.types import FloatType, IntType, PointerType, Type
-from repro.compiler.ir.values import Argument, Constant, UndefValue, Value
+from repro.compiler.ir.types import FloatType, IntType, Type
+from repro.compiler.ir.values import Constant, UndefValue, Value
 from repro.compiler.targets.base import TargetLowering
 from repro.compiler.transforms.vectorize import VECTOR_WIDTH_KEY
 from repro.isa.machine_ops import MachineOp
@@ -62,15 +97,66 @@ class ExecutionStats:
     per_function_instructions: Dict[str, int] = field(default_factory=dict)
 
 
+def _libm_fminf(a: float, b: float) -> float:
+    """``fminf`` with libm NaN semantics: a NaN operand loses."""
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    return min(a, b)
+
+
+def _libm_fmaxf(a: float, b: float) -> float:
+    """``fmaxf`` with libm NaN semantics: a NaN operand loses."""
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    return max(a, b)
+
+
 #: Builtin math externals (a tiny libm) available to KernelC programs.
 _BUILTIN_MATH: Dict[str, Callable] = {
     "sqrtf": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
     "fabsf": abs,
     "expf": math.exp,
     "logf": lambda x: math.log(x) if x > 0 else float("-inf"),
-    "fminf": min,
-    "fmaxf": max,
+    "fminf": _libm_fminf,
+    "fmaxf": _libm_fmaxf,
 }
+
+def _fdiv(a: float, b: float) -> float:
+    """IEEE-754 division: x/0 is signed infinity, but 0/0 and NaN/0 are NaN."""
+    if b != 0.0:
+        return a / b
+    if a == 0.0 or math.isnan(a):
+        return float("nan")
+    return math.copysign(float("inf"), a)
+
+
+#: Float binary opcodes -> semantics (both dispatch paths share these).
+_FLOAT_BINOPS: Dict[str, Callable[[float, float], float]] = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": _fdiv,
+    "frem": lambda a, b: math.fmod(a, b) if b != 0.0 else float("nan"),
+}
+
+#: fcmp ordered predicates -> semantics: ordered comparisons are false
+#: whenever an operand is NaN, which Python's operators already give us for
+#: every predicate except inequality ("one" is ordered-AND-unequal, so the
+#: naive `a != b` would wrongly return true on NaN).
+_FCMP_PREDICATES: Dict[str, Callable[[float, float], bool]] = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a < b or a > b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+_F32_STRUCT = struct.Struct("<f")
 
 
 class _Frame:
@@ -82,6 +168,39 @@ class _Frame:
         self.function = function
         self.values: Dict[Value, object] = {}
         self.stack_token = stack_token
+
+
+class _Ret:
+    """Sentinel returned by a predecoded ``ret`` terminator."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+
+class _DecodedBlock:
+    """A basic block predecoded into executor thunks."""
+
+    __slots__ = ("name", "steps", "terminator", "phi_nodes", "phi_sources",
+                 "phi_accounts", "instr_count")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.steps: List[Callable[[dict], None]] = []
+        self.terminator: Optional[Callable[[dict], object]] = None
+        self.phi_nodes: List[Phi] = []
+        # Predecessor decoded block -> per-phi operand getters.
+        self.phi_sources: Dict["_DecodedBlock", List[Callable[[dict], object]]] = {}
+        self.phi_accounts: Optional[List[Callable[[], None]]] = None
+        self.instr_count = 0
+
+
+class _DecodedFunction:
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: _DecodedBlock):
+        self.entry = entry
 
 
 class ExecutionEngine:
@@ -105,7 +224,14 @@ class ExecutionEngine:
         Objects with ``handles(name) -> bool`` and ``call(name, args)``
         methods consulted (in order) for calls to declared-only functions.
         The roofline runtime registers itself this way.
+    fast_dispatch:
+        Use the predecode + closure-dispatch execution path (default).  The
+        slow path is the reference interpreter used by equivalence tests.
     """
+
+    #: Pending machine ops are flushed to the machine once the buffer reaches
+    #: this size (and always at call/return boundaries).
+    _FLUSH_THRESHOLD = 2048
 
     def __init__(
         self,
@@ -115,6 +241,7 @@ class ExecutionEngine:
         task: Optional[Task] = None,
         memory: Optional[Memory] = None,
         external_handlers: Optional[Sequence[object]] = None,
+        fast_dispatch: bool = True,
     ):
         if machine is not None and target is None:
             raise ValueError("a target lowering is required when a machine is given")
@@ -129,6 +256,13 @@ class ExecutionEngine:
         self._pc_of: Dict[int, int] = {}
         self._assign_pcs()
         self._accounting_enabled = machine is not None
+        self.fast_dispatch = fast_dispatch
+        # Fast-dispatch state: the shared accounting-enabled cell (closures
+        # test it so set_accounting() keeps working), the pending retired-op
+        # buffer, and the per-function predecode cache.
+        self._acct_cell: List[bool] = [self._accounting_enabled]
+        self._pending: List[MachineOp] = []
+        self._decoded: Dict[Function, _DecodedFunction] = {}
 
     # -- setup -----------------------------------------------------------------------------
 
@@ -146,6 +280,7 @@ class ExecutionEngine:
     def set_accounting(self, enabled: bool) -> None:
         """Temporarily disable timing/PMU accounting (used by microbenchmarks)."""
         self._accounting_enabled = enabled and self.machine is not None
+        self._acct_cell[0] = self._accounting_enabled
 
     # -- public API -------------------------------------------------------------------------
 
@@ -175,13 +310,560 @@ class ExecutionEngine:
                                  source_file=function.source_file)
         self.stats.calls += 1
         try:
-            return self._run_frame(frame)
+            if self.fast_dispatch:
+                return self._run_frame_fast(frame)
+            return self._run_frame_slow(frame)
         finally:
+            # Retire anything still pending before the frame pops, so any
+            # sampling interrupt attributes to the call stack that executed
+            # the ops.
+            if self._pending:
+                self._flush()
             self.memory.pop_stack_frame(frame.stack_token)
             if self.task is not None:
                 self.task.pop_frame()
 
-    def _run_frame(self, frame: _Frame) -> object:
+    def _flush(self) -> None:
+        """Retire all pending machine ops on the machine."""
+        pending = self._pending
+        if pending:
+            self.machine.execute_batch(pending, self.task)
+            del pending[:]
+
+    # -- fast dispatch ------------------------------------------------------------------------
+
+    def _run_frame_fast(self, frame: _Frame) -> object:
+        function = frame.function
+        decoded = self._decoded.get(function)
+        if decoded is None:
+            decoded = self._decode_function(function)
+        values = frame.values
+        stats = self.stats
+        per_fn = stats.per_function_instructions
+        fname = function.name
+        pending = self._pending
+        flush = self._flush
+        threshold = self._FLUSH_THRESHOLD
+        block = decoded.entry
+        prev: Optional[_DecodedBlock] = None
+        try:
+            while True:
+                phis = block.phi_nodes
+                if phis:
+                    getters = block.phi_sources.get(prev)
+                    if getters is None:
+                        for phi in phis:
+                            values[phi] = None
+                    else:
+                        incoming = [g(values) for g in getters]
+                        for phi, value in zip(phis, incoming):
+                            values[phi] = value
+                    accounts = block.phi_accounts
+                    if accounts is not None:
+                        for account in accounts:
+                            account()
+                stats.ir_instructions += block.instr_count
+                per_fn[fname] = per_fn.get(fname, 0) + block.instr_count
+                for step in block.steps:
+                    step(values)
+                nxt = block.terminator(values)
+                if nxt.__class__ is _Ret:
+                    return nxt.value
+                if len(pending) >= threshold:
+                    flush()
+                prev = block
+                block = nxt
+        except KeyError as exc:
+            key = exc.args[0] if exc.args else None
+            if isinstance(key, Value):
+                raise RuntimeError(
+                    f"value %{key.name} used before definition in "
+                    f"@{frame.function.name}"
+                ) from None
+            raise
+
+    # -- predecoding --------------------------------------------------------------------------
+
+    def _decode_function(self, function: Function) -> _DecodedFunction:
+        dmap = {block: _DecodedBlock(block.name) for block in function.blocks}
+        for block in function.blocks:
+            self._decode_block(function, block, dmap)
+        decoded = _DecodedFunction(dmap[function.entry_block])
+        self._decoded[function] = decoded
+        return decoded
+
+    def _decode_block(self, function: Function, block: BasicBlock,
+                      dmap: Dict[BasicBlock, _DecodedBlock]) -> None:
+        d = dmap[block]
+        phis = block.phis()
+        if phis:
+            d.phi_nodes = phis
+            preds: List[BasicBlock] = []
+            for phi in phis:
+                for _value, pred in phi.incoming:
+                    if pred not in preds:
+                        preds.append(pred)
+            for pred in preds:
+                d.phi_sources[dmap[pred]] = [
+                    self._compile_operand(phi.incoming_for(pred)) for phi in phis
+                ]
+            accounts = [self._compile_plain_account(phi) for phi in phis]
+            if any(account is not None for account in accounts):
+                d.phi_accounts = [a for a in accounts if a is not None]
+
+        body: List[Instruction] = []
+        terminator: Optional[Instruction] = None
+        count = 0
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                continue
+            count += 1
+            if isinstance(inst, (Branch, Jump, Ret)):
+                terminator = inst
+                break
+            body.append(inst)
+        d.instr_count = count
+        d.steps = [self._compile_inst(inst) for inst in body]
+        if terminator is None:
+            block_name, function_name = block.name, function.name
+
+            def fell_through(values: dict) -> object:
+                raise RuntimeError(
+                    f"block {block_name} in @{function_name} fell through "
+                    "without a terminator"
+                )
+
+            d.terminator = fell_through
+        else:
+            d.terminator = self._compile_terminator(terminator, dmap)
+
+    # .. operand access ........................................................................
+
+    def _compile_operand(self, value: Optional[Value]) -> Callable[[dict], object]:
+        if value is None:
+            return lambda values: None
+        if isinstance(value, Constant):
+            const = value.value
+            return lambda values: const
+        if isinstance(value, UndefValue):
+            return lambda values: 0
+        if isinstance(value, Function):
+            function = value
+            return lambda values: function
+        return lambda values, key=value: values[key]
+
+    # .. accounting closures ...................................................................
+
+    def _effective_vector_width(self, inst: Instruction) -> int:
+        """The vector group size the accounting path uses for *inst* (0 = scalar)."""
+        annotated = inst.metadata.get(VECTOR_WIDTH_KEY, 0)
+        if annotated and self.target.supports_vector:
+            width = min(int(annotated), self.target.vector_sp_lanes)
+            if width > 1:
+                return width
+        return 0
+
+    def _guard_account(self, width: int, emit: Callable) -> Callable:
+        """Wrap *emit* in the shared accounting gate.
+
+        The returned thunk checks the accounting-enabled cell and -- for a
+        vector-annotated instruction (``width`` > 1) -- fires *emit* only on
+        every ``width``-th execution, the executions in between being lanes
+        of the one retired vector op.  All accounting thunks share this gate
+        so the gating rule lives in exactly one place.
+        """
+        cell = self._acct_cell
+        if width == 0:
+            def account(*args) -> None:
+                if cell[0]:
+                    emit(*args)
+            return account
+        counter = [0]
+
+        def account_vector(*args) -> None:
+            if not cell[0]:
+                return
+            count = counter[0] + 1
+            counter[0] = count
+            if count % width:
+                return
+            emit(*args)
+        return account_vector
+
+    def _compile_plain_account(self, inst: Instruction,
+                               taken: bool = False) -> Optional[Callable[[], None]]:
+        """Accounting thunk for instructions whose lowering needs no address.
+
+        Returns ``None`` when nothing would ever be retired (no machine, or
+        an empty lowering such as a phi or a bitcast).
+        """
+        if self.machine is None:
+            return None
+        pc = self._pc_of.get(id(inst), 0)
+        width = self._effective_vector_width(inst)
+        ops = self.target.lower_cached(inst, taken=taken, pc=pc, vector_width=width)
+        n = len(ops)
+        if n == 0:
+            return None
+        pending = self._pending
+        stats = self.stats
+
+        def emit() -> None:
+            pending.extend(ops)
+            stats.machine_ops += n
+        return self._guard_account(width, emit)
+
+    def _compile_branch_account(self, inst: Branch) -> Optional[Callable[[bool], None]]:
+        if self.machine is None:
+            return None
+        pc = self._pc_of.get(id(inst), 0)
+        width = self._effective_vector_width(inst)
+        ops_taken = self.target.lower_cached(inst, taken=True, pc=pc,
+                                             vector_width=width)
+        ops_not = self.target.lower_cached(inst, taken=False, pc=pc,
+                                           vector_width=width)
+        if not ops_taken and not ops_not:
+            return None
+        pending = self._pending
+        stats = self.stats
+
+        def emit(taken: bool) -> None:
+            ops = ops_taken if taken else ops_not
+            pending.extend(ops)
+            stats.machine_ops += len(ops)
+        return self._guard_account(width, emit)
+
+    def _compile_memory_account(self, inst: Instruction) -> Optional[Callable[[int], None]]:
+        """Accounting thunk for loads/stores: cached lowering, address patched."""
+        if self.machine is None:
+            return None
+        pc = self._pc_of.get(id(inst), 0)
+        width = self._effective_vector_width(inst)
+        ops = self.target.lower_cached(inst, pc=pc, vector_width=width)
+        if not ops:
+            return None        # register-promoted access: nothing retires
+        pending = self._pending
+        stats = self.stats
+        if len(ops) == 1 and ops[0].is_memory:
+            template = ops[0]
+            opclass = template.opclass
+            size_bytes = template.size_bytes
+            lanes = template.lanes
+            op_taken = template.taken
+            op_target = template.target
+            op_pc = template.pc
+
+            def emit(address: int) -> None:
+                pending.append(MachineOp(opclass, size_bytes, address,
+                                         lanes, op_taken, op_target, op_pc))
+                stats.machine_ops += 1
+            return self._guard_account(width, emit)
+
+        # Exotic lowering (several ops per access): fall back to lowering per
+        # execution so the address lands wherever the target puts it.
+        target = self.target
+
+        def emit_general(address: int) -> None:
+            lowered = target.lower(inst, address=address, pc=pc,
+                                   vector_width=width)
+            pending.extend(lowered)
+            stats.machine_ops += len(lowered)
+        return self._guard_account(width, emit_general)
+
+    # .. instruction compilation ................................................................
+
+    def _wrap_value_step(self, inst: Instruction,
+                         compute: Callable[[dict], object],
+                         account: Optional[Callable[[], None]]) -> Callable[[dict], None]:
+        if account is None:
+            def step(values: dict) -> None:
+                values[inst] = compute(values)
+        else:
+            def step(values: dict) -> None:
+                values[inst] = compute(values)
+                account()
+        return step
+
+    def _compile_inst(self, inst: Instruction) -> Callable[[dict], None]:
+        if isinstance(inst, BinaryOp):
+            compute = self._compile_binary(inst)
+            return self._wrap_value_step(inst, compute,
+                                         self._compile_plain_account(inst))
+        if isinstance(inst, CompareOp):
+            compute = self._compile_compare(inst)
+            return self._wrap_value_step(inst, compute,
+                                         self._compile_plain_account(inst))
+        if isinstance(inst, Load):
+            return self._compile_load(inst)
+        if isinstance(inst, Store):
+            return self._compile_store(inst)
+        if isinstance(inst, Alloca):
+            size = max(1, inst.allocated_bytes)
+            stack_alloc = self.memory.stack_alloc
+            return self._wrap_value_step(inst, lambda values: stack_alloc(size),
+                                         self._compile_plain_account(inst))
+        if isinstance(inst, GetElementPtr):
+            base_get = self._compile_operand(inst.base)
+            index_get = self._compile_operand(inst.index)
+            element_bytes = inst.element_bytes
+
+            def compute_gep(values: dict) -> int:
+                return int(base_get(values)) + int(index_get(values)) * element_bytes
+            return self._wrap_value_step(inst, compute_gep,
+                                         self._compile_plain_account(inst))
+        if isinstance(inst, Call):
+            return self._compile_call(inst)
+        if isinstance(inst, Cast):
+            compute = self._compile_cast(inst)
+            return self._wrap_value_step(inst, compute,
+                                         self._compile_plain_account(inst))
+        if isinstance(inst, Select):
+            cond_get = self._compile_operand(inst.condition)
+            true_get = self._compile_operand(inst.true_value)
+            false_get = self._compile_operand(inst.false_value)
+
+            def compute_select(values: dict) -> object:
+                return true_get(values) if cond_get(values) else false_get(values)
+            return self._wrap_value_step(inst, compute_select,
+                                         self._compile_plain_account(inst))
+        opcode = inst.opcode
+
+        def unexecutable(values: dict) -> None:
+            raise RuntimeError(f"cannot execute instruction {opcode}")
+        return unexecutable
+
+    def _compile_binary(self, inst: BinaryOp) -> Callable[[dict], object]:
+        lhs_get = self._compile_operand(inst.lhs)
+        rhs_get = self._compile_operand(inst.rhs)
+        opcode = inst.opcode
+        if inst.is_float_op:
+            fn = _FLOAT_BINOPS.get(opcode)
+            if fn is None:
+                raise RuntimeError(f"unhandled binary opcode {opcode}")
+            return lambda values: fn(float(lhs_get(values)), float(rhs_get(values)))
+        type_ = inst.type
+        assert isinstance(type_, IntType)
+        wrap = type_.wrap
+        bits = type_.bits
+        mask = (1 << bits) - 1
+        if opcode == "add":
+            return lambda values: wrap(int(lhs_get(values)) + int(rhs_get(values)))
+        if opcode == "sub":
+            return lambda values: wrap(int(lhs_get(values)) - int(rhs_get(values)))
+        if opcode == "mul":
+            return lambda values: wrap(int(lhs_get(values)) * int(rhs_get(values)))
+        if opcode == "sdiv":
+            def sdiv(values: dict) -> int:
+                a, b = int(lhs_get(values)), int(rhs_get(values))
+                if b == 0:
+                    return 0
+                quotient = abs(a) // abs(b)
+                return wrap(-quotient if (a < 0) != (b < 0) else quotient)
+            return sdiv
+        if opcode == "udiv":
+            def udiv(values: dict) -> int:
+                b = int(rhs_get(values)) & mask
+                if b == 0:
+                    return 0
+                return wrap((int(lhs_get(values)) & mask) // b)
+            return udiv
+        if opcode == "srem":
+            def srem(values: dict) -> int:
+                a, b = int(lhs_get(values)), int(rhs_get(values))
+                if b == 0:
+                    return 0
+                quotient = abs(a) // abs(b)
+                signed = -quotient if (a < 0) != (b < 0) else quotient
+                return wrap(a - b * signed)
+            return srem
+        if opcode == "urem":
+            def urem(values: dict) -> int:
+                b = int(rhs_get(values)) & mask
+                if b == 0:
+                    return 0
+                return wrap((int(lhs_get(values)) & mask) % b)
+            return urem
+        if opcode == "and":
+            return lambda values: wrap(int(lhs_get(values)) & int(rhs_get(values)))
+        if opcode == "or":
+            return lambda values: wrap(int(lhs_get(values)) | int(rhs_get(values)))
+        if opcode == "xor":
+            return lambda values: wrap(int(lhs_get(values)) ^ int(rhs_get(values)))
+        if opcode == "shl":
+            return lambda values: wrap(
+                int(lhs_get(values)) << (int(rhs_get(values)) % bits))
+        if opcode == "lshr":
+            return lambda values: wrap(
+                (int(lhs_get(values)) & mask) >> (int(rhs_get(values)) % bits))
+        if opcode == "ashr":
+            return lambda values: wrap(
+                int(lhs_get(values)) >> (int(rhs_get(values)) % bits))
+        raise RuntimeError(f"unhandled binary opcode {opcode}")
+
+    def _compile_compare(self, inst: CompareOp) -> Callable[[dict], int]:
+        lhs_get = self._compile_operand(inst.lhs)
+        rhs_get = self._compile_operand(inst.rhs)
+        predicate = inst.predicate
+        if inst.opcode == "fcmp":
+            cmp = _FCMP_PREDICATES[predicate]
+            return lambda values: int(cmp(float(lhs_get(values)),
+                                          float(rhs_get(values))))
+        table = {
+            "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+            "slt": lambda a, b: a < b, "sle": lambda a, b: a <= b,
+            "sgt": lambda a, b: a > b, "sge": lambda a, b: a >= b,
+            "ult": lambda a, b: a < b, "ule": lambda a, b: a <= b,
+            "ugt": lambda a, b: a > b, "uge": lambda a, b: a >= b,
+        }
+        cmp = table[predicate]
+        if predicate.startswith("u"):
+            bits = inst.lhs.type.bits if isinstance(inst.lhs.type, IntType) else 64
+            mask = (1 << bits) - 1
+            return lambda values: int(cmp(int(lhs_get(values)) & mask,
+                                          int(rhs_get(values)) & mask))
+        return lambda values: int(cmp(int(lhs_get(values)), int(rhs_get(values))))
+
+    def _compile_cast(self, inst: Cast) -> Callable[[dict], object]:
+        value_get = self._compile_operand(inst.value)
+        opcode = inst.opcode
+        to_type = inst.type
+        if opcode in ("sext", "zext", "trunc"):
+            assert isinstance(to_type, IntType)
+            wrap = to_type.wrap
+            return lambda values: wrap(int(value_get(values)))
+        if opcode in ("fpext", "fptrunc"):
+            if isinstance(to_type, FloatType) and to_type.bits == 32:
+                pack = _F32_STRUCT.pack
+                unpack = _F32_STRUCT.unpack
+                return lambda values: unpack(pack(float(value_get(values))))[0]
+            return lambda values: float(value_get(values))
+        if opcode == "sitofp":
+            return lambda values: float(int(value_get(values)))
+        if opcode == "fptosi":
+            assert isinstance(to_type, IntType)
+            wrap = to_type.wrap
+            return lambda values: wrap(int(value_get(values)))
+        if opcode in ("bitcast", "inttoptr", "ptrtoint"):
+            return value_get
+        raise RuntimeError(f"unhandled cast opcode {opcode}")
+
+    def _compile_load(self, inst: Load) -> Callable[[dict], None]:
+        pointer_get = self._compile_operand(inst.pointer)
+        loader = self.memory.load_fn(inst.type)
+        account = self._compile_memory_account(inst)
+        if account is None:
+            def step(values: dict) -> None:
+                values[inst] = loader(int(pointer_get(values)))
+        else:
+            def step(values: dict) -> None:
+                address = int(pointer_get(values))
+                values[inst] = loader(address)
+                account(address)
+        return step
+
+    def _compile_store(self, inst: Store) -> Callable[[dict], None]:
+        value_get = self._compile_operand(inst.value)
+        pointer_get = self._compile_operand(inst.pointer)
+        storer = self.memory.store_fn(inst.value.type)
+        account = self._compile_memory_account(inst)
+        if account is None:
+            def step(values: dict) -> None:
+                storer(int(pointer_get(values)), value_get(values))
+        else:
+            def step(values: dict) -> None:
+                address = int(pointer_get(values))
+                storer(address, value_get(values))
+                account(address)
+        return step
+
+    def _compile_call(self, inst: Call) -> Callable[[dict], None]:
+        arg_getters = [self._compile_operand(operand) for operand in inst.operands]
+        account = self._compile_plain_account(inst)
+        flush = self._flush
+        store_result = not inst.type.is_void
+
+        callee = inst.callee
+        callee_fn: Optional[Function] = None
+        if isinstance(callee, Function):
+            callee_fn = callee
+        elif isinstance(callee, str) and self.module.has_function(callee):
+            callee_fn = self.module.get_function(callee)
+
+        if callee_fn is not None and not callee_fn.is_declaration:
+            call_function = self._call_function
+
+            def step(values: dict) -> None:
+                args = [g(values) for g in arg_getters]
+                if account is not None:
+                    account()
+                flush()
+                result = call_function(callee_fn, args)
+                if store_result:
+                    values[inst] = result
+            return step
+
+        name = callee if isinstance(callee, str) else callee.name
+        dispatch = self._dispatch_external
+
+        def step_external(values: dict) -> None:
+            args = [g(values) for g in arg_getters]
+            if account is not None:
+                account()
+            flush()
+            result = dispatch(name, args)
+            if store_result:
+                values[inst] = result
+        return step_external
+
+    def _compile_terminator(self, inst: Instruction,
+                            dmap: Dict[BasicBlock, _DecodedBlock]) -> Callable[[dict], object]:
+        if isinstance(inst, Branch):
+            cond_get = self._compile_operand(inst.condition)
+            account = self._compile_branch_account(inst)
+            then_block = dmap[inst.then_block]
+            else_block = dmap[inst.else_block]
+            if account is None:
+                def branch(values: dict) -> object:
+                    return then_block if cond_get(values) else else_block
+                return branch
+
+            def branch_accounted(values: dict) -> object:
+                condition = bool(cond_get(values))
+                account(condition)
+                return then_block if condition else else_block
+            return branch_accounted
+        if isinstance(inst, Jump):
+            account = self._compile_plain_account(inst, taken=True)
+            target_block = dmap[inst.target]
+            if account is None:
+                return lambda values: target_block
+
+            def jump(values: dict) -> object:
+                account()
+                return target_block
+            return jump
+        assert isinstance(inst, Ret)
+        account = self._compile_plain_account(inst, taken=True)
+        value_get = (self._compile_operand(inst.value)
+                     if inst.value is not None else None)
+        if account is None:
+            if value_get is None:
+                return lambda values: _Ret(None)
+            return lambda values: _Ret(value_get(values))
+        if value_get is None:
+            def ret_void(values: dict) -> object:
+                account()
+                return _Ret(None)
+            return ret_void
+
+        def ret(values: dict) -> object:
+            account()
+            return _Ret(value_get(values))
+        return ret
+
+    # -- slow (reference) dispatch --------------------------------------------------------------
+
+    def _run_frame_slow(self, frame: _Frame) -> object:
         function = frame.function
         per_fn = self.stats.per_function_instructions
         block = function.entry_block
@@ -236,7 +918,7 @@ class ExecutionEngine:
                 )
             prev_block, block = block, next_block
 
-    # -- instruction execution -----------------------------------------------------------------
+    # -- instruction execution (reference path) -------------------------------------------------
 
     def _eval(self, frame: _Frame, value: Optional[Value]) -> object:
         if value is None:
@@ -301,17 +983,10 @@ class ExecutionEngine:
         rhs = self._eval(frame, inst.rhs)
         opcode = inst.opcode
         if inst.is_float_op:
-            lhs, rhs = float(lhs), float(rhs)
-            if opcode == "fadd":
-                return lhs + rhs
-            if opcode == "fsub":
-                return lhs - rhs
-            if opcode == "fmul":
-                return lhs * rhs
-            if opcode == "fdiv":
-                return lhs / rhs if rhs != 0.0 else math.copysign(float("inf"), lhs)
-            if opcode == "frem":
-                return math.fmod(lhs, rhs) if rhs != 0.0 else float("nan")
+            fn = _FLOAT_BINOPS.get(opcode)
+            if fn is None:
+                raise RuntimeError(f"unhandled binary opcode {opcode}")
+            return fn(float(lhs), float(rhs))
         a, b = int(lhs), int(rhs)
         type_ = inst.type
         assert isinstance(type_, IntType)
@@ -321,17 +996,31 @@ class ExecutionEngine:
             return type_.wrap(a - b)
         if opcode == "mul":
             return type_.wrap(a * b)
-        if opcode in ("sdiv", "udiv"):
+        if opcode == "sdiv":
             if b == 0:
                 return 0
             quotient = abs(a) // abs(b)
             return type_.wrap(-quotient if (a < 0) != (b < 0) else quotient)
-        if opcode in ("srem", "urem"):
+        if opcode == "udiv":
+            # Unsigned semantics: operate on the masked (unsigned) values, not
+            # the wrapped signed representation.
+            mask = (1 << type_.bits) - 1
+            ub = b & mask
+            if ub == 0:
+                return 0
+            return type_.wrap((a & mask) // ub)
+        if opcode == "srem":
             if b == 0:
                 return 0
             quotient = abs(a) // abs(b)
             signed = -quotient if (a < 0) != (b < 0) else quotient
             return type_.wrap(a - b * signed)
+        if opcode == "urem":
+            mask = (1 << type_.bits) - 1
+            ub = b & mask
+            if ub == 0:
+                return 0
+            return type_.wrap((a & mask) % ub)
         if opcode == "and":
             return type_.wrap(a & b)
         if opcode == "or":
@@ -352,12 +1041,7 @@ class ExecutionEngine:
         rhs = self._eval(frame, inst.rhs)
         predicate = inst.predicate
         if inst.opcode == "fcmp":
-            a, b = float(lhs), float(rhs)
-            table = {
-                "oeq": a == b, "one": a != b, "olt": a < b,
-                "ole": a <= b, "ogt": a > b, "oge": a >= b,
-            }
-            return int(table[predicate])
+            return int(_FCMP_PREDICATES[predicate](float(lhs), float(rhs)))
         a, b = int(lhs), int(rhs)
         if predicate.startswith("u"):
             bits = inst.lhs.type.bits if isinstance(inst.lhs.type, IntType) else 64
@@ -380,8 +1064,7 @@ class ExecutionEngine:
             return to_type.wrap(int(value))
         if opcode in ("fpext", "fptrunc"):
             if isinstance(to_type, FloatType) and to_type.bits == 32:
-                import struct as _struct
-                return _struct.unpack("<f", _struct.pack("<f", float(value)))[0]
+                return _F32_STRUCT.unpack(_F32_STRUCT.pack(float(value)))[0]
             return float(value)
         if opcode == "sitofp":
             return float(int(value))
@@ -419,7 +1102,7 @@ class ExecutionEngine:
             f"no handler registered for external function @{name}"
         )
 
-    # -- accounting ---------------------------------------------------------------------------
+    # -- accounting (reference path) -------------------------------------------------------------
 
     def _account(self, inst: Instruction, frame: _Frame,
                  address: Optional[int] = None, taken: bool = False) -> None:

@@ -138,6 +138,78 @@ class Memory:
             return
         raise MemoryError_(f"cannot store value of type {type_}")
 
+    # -- predecoded access (execution-engine fast path) ---------------------------------------
+
+    def load_fn(self, type_: Type):
+        """Return a specialised ``loader(address) -> value`` for *type_*.
+
+        Predecode hook used by the execution engine's fast dispatch: the type
+        dispatch and struct-format selection happen once per instruction
+        instead of once per access.  Bounds checking and results are
+        identical to :meth:`load_typed`.
+        """
+        backing_of = self._backing
+        if isinstance(type_, IntType):
+            if type_.bits == 1:
+                def load_i1(address: int) -> int:
+                    backing, offset = backing_of(address, 1)
+                    return backing[offset] & 1
+                return load_i1
+            size = type_.bits // 8
+            unpack_from = struct.Struct("<" + _INT_FORMATS[type_.bits]).unpack_from
+        elif isinstance(type_, FloatType):
+            size = type_.bits // 8
+            unpack_from = struct.Struct("<" + _FLOAT_FORMATS[type_.bits]).unpack_from
+        elif isinstance(type_, PointerType):
+            size = 8
+            unpack_from = struct.Struct("<q").unpack_from
+        else:
+            raise MemoryError_(f"cannot load value of type {type_}")
+
+        def load(address: int):
+            backing, offset = backing_of(address, size)
+            return unpack_from(backing, offset)[0]
+        return load
+
+    def store_fn(self, type_: Type):
+        """Return a specialised ``storer(address, value)`` for *type_*.
+
+        The counterpart of :meth:`load_fn`; semantics match
+        :meth:`store_typed` (integers are wrapped to the type's range before
+        being packed).
+        """
+        backing_of = self._backing
+        if isinstance(type_, IntType):
+            if type_.bits == 1:
+                def store_i1(address: int, value) -> None:
+                    backing, offset = backing_of(address, 1)
+                    backing[offset] = int(value) & 1
+                return store_i1
+            size = type_.bits // 8
+            pack_into = struct.Struct("<" + _INT_FORMATS[type_.bits]).pack_into
+            wrap = type_.wrap
+
+            def store_int(address: int, value) -> None:
+                backing, offset = backing_of(address, size)
+                pack_into(backing, offset, wrap(int(value)))
+            return store_int
+        if isinstance(type_, FloatType):
+            size = type_.bits // 8
+            pack_into = struct.Struct("<" + _FLOAT_FORMATS[type_.bits]).pack_into
+
+            def store_float(address: int, value) -> None:
+                backing, offset = backing_of(address, size)
+                pack_into(backing, offset, float(value))
+            return store_float
+        if isinstance(type_, PointerType):
+            pack_into = struct.Struct("<q").pack_into
+
+            def store_pointer(address: int, value) -> None:
+                backing, offset = backing_of(address, 8)
+                pack_into(backing, offset, int(value))
+            return store_pointer
+        raise MemoryError_(f"cannot store value of type {type_}")
+
     # -- convenience for tests and workloads --------------------------------------------------
 
     def alloc_float_array(self, values: List[float], double: bool = False) -> int:

@@ -130,6 +130,7 @@ class TestMiniperfStatRecord:
         text = report.format()
         assert "leaf_a" in text and "IPC" in text
 
+    @pytest.mark.slow
     def test_sqlite3_like_top_hotspots_on_x60(self):
         machine = Machine(spacemit_x60())
         tool = Miniperf(machine)
