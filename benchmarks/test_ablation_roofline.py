@@ -10,18 +10,20 @@
 
 import pytest
 
+from repro.api import ProfileSpec, Session
 from repro.platforms import intel_i5_1135g7, spacemit_x60
 from repro.roofline import RooflineRunner
-from repro.workloads import (
-    DOT_PRODUCT_SOURCE,
-    MATMUL_NAIVE_SOURCE,
-    MATMUL_TILED_SOURCE,
-    dot_args_builder,
-    matmul_args_builder,
-)
+from repro.workloads import DOT_PRODUCT_SOURCE, dot_args_builder, registry
 
 N_DOT = 2048
 N_MATMUL = 16
+
+ROOFLINE_SPEC = ProfileSpec(analyses=("roofline",))
+
+
+def session_roofline(workload_name, n, spec=ROOFLINE_SPEC):
+    run = Session(spacemit_x60()).run(registry.create(workload_name, n=n), spec)
+    return run.roofline
 
 
 def test_instrumentation_overhead_and_two_phase(benchmark):
@@ -43,10 +45,9 @@ def test_instrumentation_overhead_and_two_phase(benchmark):
 def test_vectorization_ablation(benchmark):
     """Vector codegen moves the kernel up the roofline; counts stay identical."""
     def run_pair():
-        on = RooflineRunner(spacemit_x60(), enable_vectorizer=True).run_source(
-            DOT_PRODUCT_SOURCE, "dot", dot_args_builder(N_DOT))
-        off = RooflineRunner(spacemit_x60(), enable_vectorizer=False).run_source(
-            DOT_PRODUCT_SOURCE, "dot", dot_args_builder(N_DOT))
+        on = session_roofline("dot-product", N_DOT)
+        off = session_roofline("dot-product", N_DOT,
+                               ROOFLINE_SPEC.without_vectorizer())
         return on, off
 
     vector_on, vector_off = benchmark.pedantic(run_pair, rounds=1, iterations=1)
@@ -63,10 +64,8 @@ def test_tiling_ablation(benchmark):
     cache level; with IR-level (L1-exposed) counting the AI is identical, but
     the measured DRAM traffic on the machine model differs."""
     def run_pair():
-        tiled = RooflineRunner(spacemit_x60()).run_source(
-            MATMUL_TILED_SOURCE, "matmul_tiled", matmul_args_builder(N_MATMUL))
-        naive = RooflineRunner(spacemit_x60()).run_source(
-            MATMUL_NAIVE_SOURCE, "matmul_naive", matmul_args_builder(N_MATMUL))
+        tiled = session_roofline("matmul-tiled", N_MATMUL)
+        naive = session_roofline("matmul-naive", N_MATMUL)
         return tiled, naive
 
     tiled, naive = benchmark.pedantic(run_pair, rounds=1, iterations=1)

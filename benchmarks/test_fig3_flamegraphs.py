@@ -13,27 +13,21 @@ import os
 
 import pytest
 
+from repro.api import ProfileSpec, Session
 from repro.flamegraph import build_flame_graph, render_svg, render_text
 
 #: Full synthetic sqlite3 profiles on two platforms (see pytest.ini).
 pytestmark = pytest.mark.slow
 from repro.flamegraph.render_text import render_summary
-from repro.miniperf import Miniperf
-from repro.platforms import Machine, intel_i5_1135g7, spacemit_x60
-from repro.workloads.sqlite3_like import instruction_factor_for, sqlite3_like_workload
-from repro.workloads.synthetic import TraceExecutor
+from repro.platforms import intel_i5_1135g7, spacemit_x60
+from repro.workloads import registry
 
 
 def record_platform(descriptor, scale=2, period=10_000):
-    machine = Machine(descriptor)
-    tool = Miniperf(machine)
-    task = machine.create_task("sqlite3-bench")
-    executor = TraceExecutor(machine, task, seed=5,
-                             instruction_factor=instruction_factor_for(descriptor.arch))
-    workload = sqlite3_like_workload(scale=scale)
-    recording = tool.record(lambda: executor.run(workload), task=task,
-                            sample_period=period)
-    return recording
+    run = Session(descriptor).run(
+        registry.create("sqlite3-like", scale=scale),
+        ProfileSpec(sample_period=period, seed=5, analyses=("flamegraph",)))
+    return run.recording
 
 
 @pytest.mark.parametrize("descriptor,short", [(spacemit_x60(), "x60"),

@@ -21,14 +21,14 @@ import os
 
 import pytest
 
+from repro.api import ProfileSpec, Session
 from repro.platforms import intel_i5_1135g7, spacemit_x60
 from repro.roofline import (
-    RooflineRunner,
     render_ascii_roofline,
     render_svg_roofline,
     theoretical_roofs,
 )
-from repro.workloads import MATMUL_TILED_SOURCE, matmul_args_builder
+from repro.workloads import registry
 from repro.workloads.kernels import analytic_matmul_counts
 
 #: Matrix dimension for the benchmark runs (kept modest so the IR interpreter
@@ -44,10 +44,9 @@ PAPER_FIG4 = {
 
 
 def run_roofline(descriptor, n=MATMUL_N):
-    runner = RooflineRunner(descriptor)
-    result = runner.run_source(MATMUL_TILED_SOURCE, "matmul_tiled",
-                               matmul_args_builder(n), filename="matmul.c")
-    return result
+    run = Session(descriptor).run(registry.create("matmul-tiled", n=n),
+                                  ProfileSpec(analyses=("roofline",)))
+    return run.roofline
 
 
 def test_fig4_x60_roofs_match_paper_arithmetic():

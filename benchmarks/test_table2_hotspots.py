@@ -14,18 +14,14 @@ Shape checks (the reproduction criterion, not absolute numbers):
 
 import pytest
 
-from repro.miniperf import Miniperf
+from repro.api import ProfileSpec, Session
 
 #: Full synthetic sqlite3 profiles on two platforms: the heaviest tests in
 #: the suite (see pytest.ini for the fast lane).
 pytestmark = pytest.mark.slow
-from repro.platforms import Machine, intel_i5_1135g7, spacemit_x60
-from repro.workloads.sqlite3_like import (
-    SQLITE3_HOT_FUNCTIONS,
-    instruction_factor_for,
-    sqlite3_like_workload,
-)
-from repro.workloads.synthetic import TraceExecutor
+from repro.platforms import intel_i5_1135g7, spacemit_x60
+from repro.workloads import registry
+from repro.workloads.sqlite3_like import SQLITE3_HOT_FUNCTIONS
 
 PAPER_TABLE_2 = {
     "SpacemiT X60": {
@@ -42,15 +38,11 @@ PAPER_TABLE_2 = {
 
 
 def profile_platform(descriptor, scale=2, period=10_000, seed=3):
-    machine = Machine(descriptor)
-    tool = Miniperf(machine)
-    task = machine.create_task("sqlite3-bench")
-    executor = TraceExecutor(machine, task, seed=seed,
-                             instruction_factor=instruction_factor_for(descriptor.arch))
-    workload = sqlite3_like_workload(scale=scale)
-    recording = tool.record(lambda: executor.run(workload), task=task,
-                            sample_period=period)
-    return machine, recording, tool.hotspots(recording)
+    session = Session(descriptor)
+    run = session.run(
+        registry.create("sqlite3-like", scale=scale),
+        ProfileSpec(sample_period=period, seed=seed, analyses=("hotspots",)))
+    return session.machine(), run.recording, run.hotspots
 
 
 @pytest.mark.parametrize("descriptor", [spacemit_x60(), intel_i5_1135g7()],

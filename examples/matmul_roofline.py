@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Compiler-driven roofline analysis of the paper's tiled matmul kernel.
 
-Compiles the kernel from KernelC source, instruments its loop nest at the IR
-level, runs the two-phase flow on the SpacemiT X60 and Intel i5-1135G7
-models, and prints ASCII roofline plots (plus SVG files next to this script).
+One `Session.compare` call runs the two-phase roofline flow (compile,
+instrument the loop nest at the IR level, baseline + instrumented execution)
+on the SpacemiT X60 and Intel i5-1135G7 models, prints ASCII roofline plots
+and writes SVGs next to this script.
 
 Run with:  python examples/matmul_roofline.py [n]
 """
@@ -13,23 +14,23 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.platforms import intel_i5_1135g7, spacemit_x60
-from repro.roofline import RooflineRunner, render_ascii_roofline
-from repro.roofline.plot import write_svg_roofline
-from repro.workloads import MATMUL_TILED_SOURCE, matmul_args_builder
+from repro.api import ProfileSpec, Session
+from repro.roofline import render_ascii_roofline
+from repro.workloads import registry
 
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 24
-    for descriptor in (spacemit_x60(), intel_i5_1135g7()):
-        runner = RooflineRunner(descriptor)
-        result = runner.run_source(MATMUL_TILED_SOURCE, "matmul_tiled",
-                                   matmul_args_builder(n), filename="matmul.c")
-        model = result.model()
-        model.add_point(result.point_for_kernel())
+    comparison = Session.compare(
+        ["SpacemiT X60", "Intel Core i5-1135G7"],
+        registry.create("matmul-tiled", n=n),
+        ProfileSpec(analyses=("roofline",)),
+    )
 
+    for run in comparison.runs:
+        result = run.roofline
         print("=" * 72)
-        print(render_ascii_roofline(model))
+        print(render_ascii_roofline(run.roofline_model()))
         print()
         print(f"kernel total: {result.kernel_gflops:.2f} GFLOP/s at "
               f"AI {result.kernel_arithmetic_intensity:.3f} FLOP/byte")
@@ -37,10 +38,17 @@ def main() -> None:
             print(f"  {loop.label}: {loop.fp_ops} FLOPs, {loop.total_bytes} bytes, "
                   f"instrumentation overhead {loop.instrumentation_overhead:.2f}x")
         out = os.path.join(os.path.dirname(__file__),
-                           f"roofline_{descriptor.name.split()[0].lower()}.svg")
-        write_svg_roofline(model, out)
+                           f"roofline_{run.platform.split()[0].lower()}.svg")
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(run.roofline_svg())
         print(f"wrote {out}")
         print()
+
+    print("=" * 72)
+    print("side by side:")
+    for row in comparison.to_dict()["summary"]:
+        print(f"  {row['platform']:<24} {row['gflops']:>8} GFLOP/s at "
+              f"AI {row['arithmetic_intensity']}")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,9 @@ Shows the raw perf_event-level mechanics the paper's Section 3.3 describes:
 1. the standard approach (sample cycles directly) fails with EOPNOTSUPP;
 2. making the sampling-capable ``u_mode_cycle`` vendor counter the group
    leader lets cycles and instructions ride along in every sample;
-3. the per-sample group readouts give IPC over time.
+3. the per-sample group readouts give IPC over time;
+4. the session API (:mod:`repro.api`) applies all of this automatically --
+   and shows what a stock kernel without the vendor driver loses.
 
 Run with:  python examples/pmu_workaround_demo.py
 """
@@ -85,6 +87,16 @@ def main() -> None:
         stack = ";".join(reversed(sample.callchain))
         print(f"  sample {index:2d}: +{delta_c:6d} cycles, +{delta_i:6d} instructions, "
               f"IPC {ipc:4.2f}   [{stack}]")
+
+    print()
+    print("== 4. the same, through the session API ==")
+    from repro.api import ProfileSpec, Session
+    session = Session("SpacemiT X60")
+    run = session.run("micro-calltree", ProfileSpec(sample_period=2_000))
+    print(f"with the vendor driver: {run.recording.describe()}")
+    stock = session.run("micro-calltree",
+                        ProfileSpec(sample_period=2_000).without_vendor_driver())
+    print(f"without it: sampling -> {stock.errors.get('sampling', 'ok?')}")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,10 @@
 #!/usr/bin/env python3
-"""Quickstart: identify a platform, profile a workload, print hotspots.
+"""Quickstart: one session, one spec, one run.
+
+Builds a profiling Session for the SpacemiT X60, looks the sqlite3-shaped
+workload up in the registry, and profiles it: CPU identification (with the
+PMU group-leader workaround applied automatically), hotspot table, and a
+machine-consumable JSON export of the same run.
 
 Run with:  python examples/quickstart.py
 """
@@ -9,26 +14,30 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.platforms import spacemit_x60
-from repro.toolchain import AnalysisWorkflow
-from repro.workloads.sqlite3_like import sqlite3_like_workload
+from repro.api import ProfileSpec, Session
+from repro.workloads import registry
 
 
 def main() -> None:
-    # Build the SpacemiT X60 machine model (core + caches + PMU + SBI + perf).
-    workflow = AnalysisWorkflow(spacemit_x60())
-
-    # miniperf identifies the CPU from its identification registers and knows
-    # it needs the group-leader sampling workaround.
-    print(workflow.miniperf.describe())
+    # A Session owns the machine model (core + caches + PMU + SBI + perf)
+    # lazily; miniperf identifies the CPU from its identification registers
+    # and knows it needs the group-leader sampling workaround.
+    session = Session("SpacemiT X60")
+    print(session.describe())
     print()
 
-    # Profile the sqlite3-shaped workload with sampling (the workaround is
-    # applied automatically) and print the hotspot table.
-    report = workflow.profile_synthetic(sqlite3_like_workload(), sample_period=10_000)
-    print(report.recording.describe())
+    # One declarative spec: sample every 10k leader events, derive hotspots
+    # and flame graphs.  The same spec would profile a compiled kernel too.
+    run = session.run(registry["sqlite3-like"], ProfileSpec(sample_period=10_000))
+    print(run.recording.describe())
     print()
-    print(report.hotspots.format(8))
+    print(run.hotspots.format(8))
+    print()
+
+    # Every run exports uniformly; this is what `miniperf record --json` emits.
+    top = run.to_dict()["hotspots"]["rows"][0]
+    print(f"machine-consumable: top hotspot is {top['function']} "
+          f"at {top['total_percent']}%")
 
 
 if __name__ == "__main__":

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Figure-3 style flame graphs for the sqlite3-shaped workload.
 
-Profiles the workload on the SpacemiT X60 and the Intel comparator, renders
-cycles- and instructions-weighted flame graphs as text, and writes SVGs next
-to this script.
+A multi-platform comparison run profiles the workload on the SpacemiT X60
+and the Intel comparator (the per-ISA instruction factor is applied
+automatically by the workload), renders cycles- and instructions-weighted
+flame graphs as text, writes SVGs next to this script, and prints the
+quantitative flame-graph diff the paper reads off the images.
 
 Run with:  python examples/sqlite_flamegraphs.py
 """
@@ -13,37 +15,43 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.flamegraph import build_flame_graph, render_text, render_svg
+from repro.api import ProfileSpec, Session
+from repro.flamegraph import render_text
 from repro.flamegraph.render_text import render_summary
-from repro.platforms import intel_i5_1135g7, spacemit_x60
-from repro.toolchain import AnalysisWorkflow
-from repro.workloads.sqlite3_like import instruction_factor_for, sqlite3_like_workload
 
 
 def main() -> None:
-    for descriptor in (spacemit_x60(), intel_i5_1135g7()):
-        workflow = AnalysisWorkflow(descriptor)
-        report = workflow.profile_synthetic(
-            sqlite3_like_workload(),
-            sample_period=8_000,
-            instruction_factor=instruction_factor_for(descriptor.arch),
-        )
-        for metric, flame in (("cycles", report.flame_cycles),
-                              ("instructions", report.flame_instructions)):
+    comparison = Session.compare(
+        ["SpacemiT X60", "Intel Core i5-1135G7"],
+        "sqlite3-like",
+        ProfileSpec(sample_period=8_000),
+    )
+
+    for run in comparison.runs:
+        for metric in ("cycles", "instructions"):
+            flame = run.flame(metric)
             print("=" * 72)
-            print(f"{descriptor.name} - {metric}")
+            print(f"{run.platform} - {metric}")
             print(render_text(flame, width=96))
             print()
             print("widest frames:")
             print(render_summary(flame, top=5))
             print()
-            name = descriptor.name.split()[0].lower()
+            name = run.platform.split()[0].lower()
             path = os.path.join(os.path.dirname(__file__),
                                 f"flame_{name}_{metric}.svg")
             with open(path, "w", encoding="utf-8") as handle:
-                handle.write(render_svg(flame, title=f"{descriptor.name} ({metric})"))
+                handle.write(run.flamegraph_svg(metric))
             print(f"wrote {path}")
             print()
+
+    print("=" * 72)
+    print("what the comparison makes quantitative:")
+    for platform, diffs in comparison.flame_diffs.items():
+        print(f"{comparison.baseline.platform} -> {platform}:")
+        for diff in diffs[:5]:
+            print(f"  {diff.function:<28} {diff.fraction_a * 100:>6.2f}% -> "
+                  f"{diff.fraction_b * 100:>6.2f}%  ({diff.ratio:.2f}x)")
 
 
 if __name__ == "__main__":

@@ -9,16 +9,15 @@ runs compiled kernels on cycle-approximate platform models, and the
 
 Quick start::
 
-    from repro.platforms import spacemit_x60
-    from repro.toolchain import AnalysisWorkflow
-    from repro.workloads import sqlite3_like_workload
+    from repro.api import ProfileSpec, Session
+    from repro.workloads import registry
 
-    workflow = AnalysisWorkflow(spacemit_x60())
-    report = workflow.profile_synthetic(sqlite3_like_workload())
-    print(report.hotspots.format())
+    session = Session("SpacemiT X60")
+    run = session.run(registry["sqlite3-like"], ProfileSpec())
+    print(run.hotspots.format())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.platforms import (
     Machine,
@@ -30,12 +29,17 @@ from repro.platforms import (
     thead_c910,
 )
 from repro.miniperf import Miniperf
+from repro.api import Comparison, ProfileSpec, Run, Session
 from repro.toolchain import AnalysisWorkflow
 
 __all__ = [
     "__version__",
     "Machine",
     "Miniperf",
+    "Session",
+    "ProfileSpec",
+    "Run",
+    "Comparison",
     "AnalysisWorkflow",
     "all_platforms",
     "platform_by_name",

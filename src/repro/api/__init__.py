@@ -1,0 +1,51 @@
+"""The unified profiling-session API (the paper's third contribution, as a library).
+
+Three concepts compose:
+
+* a :class:`Workload` -- anything profilable: synthetic call-tree trace
+  replays or compiled KernelC kernels run on the fast-dispatch VM engine,
+  usually looked up by name in :data:`repro.workloads.registry`;
+* a :class:`ProfileSpec` -- a declarative, immutable description of what to
+  measure (events, sampling vs. counting, vendor-driver and vectoriser
+  toggles) and which analyses to derive (hotspots, flame graphs, roofline);
+* a :class:`Session` -- owns lazy machine construction for one platform and
+  turns ``session.run(workload, spec)`` into a uniform :class:`Run` with
+  ``to_dict``/JSON, text-report and SVG exporters.
+
+Quick start::
+
+    from repro.api import ProfileSpec, Session
+    from repro.workloads import registry
+
+    session = Session("SpacemiT X60")
+    run = session.run(registry["sqlite3-like"], ProfileSpec(sample_period=10_000))
+    print(run.report())
+
+    roofline = session.run(registry["matmul-tiled"],
+                           ProfileSpec(analyses=("roofline",)))
+    print(roofline.report())
+
+    comparison = Session.compare(["SpacemiT X60", "Intel Core i5-1135G7"],
+                                 "sqlite3-like", ProfileSpec())
+    print(comparison.report())
+"""
+
+from repro.api.spec import ANALYSES, ProfileSpec
+from repro.api.workload import (
+    CompiledKernelWorkload,
+    SyntheticTraceWorkload,
+    Workload,
+)
+from repro.api.run import Comparison, Run
+from repro.api.session import Session
+
+__all__ = [
+    "ANALYSES",
+    "ProfileSpec",
+    "Workload",
+    "SyntheticTraceWorkload",
+    "CompiledKernelWorkload",
+    "Run",
+    "Comparison",
+    "Session",
+]

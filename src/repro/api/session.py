@@ -1,0 +1,183 @@
+"""The profiling session: one composable entry point for the whole toolchain.
+
+A :class:`Session` binds a platform model; ``session.run(workload, spec)``
+profiles any :class:`~repro.api.workload.Workload` (synthetic trace replay
+or compiled kernel) according to a declarative
+:class:`~repro.api.spec.ProfileSpec` and returns a uniform
+:class:`~repro.api.run.Run`.  :meth:`Session.compare` runs the same workload
+and spec across several platforms and returns a :class:`Comparison` with
+side-by-side summaries and quantitative flame-graph diffs.
+
+Machine construction is lazy and cached per vendor-driver setting, so a
+session is cheap to create and repeated runs on the same platform share one
+machine model (and therefore one identified CPU), like the real tool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api.run import Comparison, Run
+from repro.api.spec import ProfileSpec
+from repro.api.workload import Workload
+from repro.flamegraph import build_flame_graph
+from repro.kernel.perf_event import PerfEventOpenError
+from repro.miniperf import Miniperf
+from repro.miniperf.groups import SamplingNotSupportedError
+from repro.platforms.descriptors import PlatformDescriptor
+from repro.platforms.machine import Machine
+from repro.platforms import platform_by_name
+
+PlatformLike = Union[str, PlatformDescriptor]
+
+
+def _resolve_platform(platform: PlatformLike) -> PlatformDescriptor:
+    if isinstance(platform, PlatformDescriptor):
+        return platform
+    return platform_by_name(platform)
+
+
+def _resolve_workload(workload: Union[str, Workload]) -> Workload:
+    if isinstance(workload, str):
+        from repro.workloads import registry
+        return registry[workload]
+    return workload
+
+
+class Session:
+    """Profiling session bound to one platform model.
+
+    Parameters
+    ----------
+    platform:
+        A :class:`PlatformDescriptor` or a platform name (resolved through
+        :func:`repro.platforms.platform_by_name`).
+    vendor_driver:
+        Session-wide default for specs that leave ``vendor_driver`` unset;
+        defaults to the paper's measured configuration (patches installed).
+    """
+
+    def __init__(self, platform: PlatformLike, vendor_driver: bool = True):
+        self.descriptor = _resolve_platform(platform)
+        self.default_vendor_driver = vendor_driver
+        self._machines: Dict[bool, Machine] = {}
+        self._tools: Dict[bool, Miniperf] = {}
+
+    # -- lazy machine ownership ---------------------------------------------------------
+
+    def _effective_vendor_driver(self, spec: ProfileSpec) -> bool:
+        if spec.vendor_driver is None:
+            return self.default_vendor_driver
+        return spec.vendor_driver
+
+    def machine(self, vendor_driver: Optional[bool] = None) -> Machine:
+        """The (lazily built, cached) machine for a vendor-driver setting."""
+        key = self.default_vendor_driver if vendor_driver is None else vendor_driver
+        machine = self._machines.get(key)
+        if machine is None:
+            machine = Machine(self.descriptor, vendor_driver=key)
+            self._machines[key] = machine
+        return machine
+
+    def miniperf(self, vendor_driver: Optional[bool] = None) -> Miniperf:
+        key = self.default_vendor_driver if vendor_driver is None else vendor_driver
+        tool = self._tools.get(key)
+        if tool is None:
+            tool = Miniperf(self.machine(key))
+            self._tools[key] = tool
+        return tool
+
+    @property
+    def platform(self) -> str:
+        return self.descriptor.name
+
+    def describe(self) -> str:
+        return self.miniperf().describe()
+
+    # -- running ------------------------------------------------------------------------
+
+    def run(self, workload: Union[str, Workload],
+            spec: Optional[ProfileSpec] = None) -> Run:
+        """Profile *workload* according to *spec* and return a uniform Run.
+
+        Analyses that the platform cannot deliver (e.g. sampling on a part
+        whose counters cannot raise overflow interrupts, or a roofline for a
+        workload with no compiled kernel) are recorded in ``run.errors``
+        instead of aborting the whole run, so multi-platform comparisons
+        degrade per-platform exactly the way the paper's Table 1 predicts.
+        """
+        spec = spec or ProfileSpec()
+        workload = _resolve_workload(workload)
+        vendor_driver = self._effective_vendor_driver(spec)
+        machine = self.machine(vendor_driver)
+        tool = self.miniperf(vendor_driver)
+        run = Run(
+            platform=machine.name,
+            workload=workload.name,
+            spec=spec,
+            cpu_description=tool.describe(),
+        )
+
+        if spec.wants_stat:
+            task = machine.create_task(workload.name)
+            try:
+                run.stat = tool.stat(workload.executable(machine, task, spec),
+                                     task=task, events=spec.events)
+            except PerfEventOpenError as error:
+                run.errors["stat"] = str(error)
+                run.failures["stat"] = error
+
+        if spec.wants_sampling:
+            task = machine.create_task(workload.name)
+            try:
+                run.recording = tool.record(
+                    workload.executable(machine, task, spec),
+                    task=task, events=spec.events,
+                    sample_period=spec.sample_period,
+                )
+            except (SamplingNotSupportedError, PerfEventOpenError) as error:
+                run.errors["sampling"] = str(error)
+                run.failures["sampling"] = error
+            if run.recording is not None:
+                if "hotspots" in spec.analyses:
+                    run.hotspots = tool.hotspots(run.recording)
+                if "flamegraph" in spec.analyses:
+                    run.flame_cycles = build_flame_graph(
+                        run.recording.samples, weight="samples")
+                    run.flame_instructions = build_flame_graph(
+                        run.recording.samples, weight="instructions")
+
+        if spec.wants_roofline:
+            if not workload.supports_roofline:
+                run.errors["roofline"] = (
+                    f"workload {workload.name!r} ({workload.kind}) has no "
+                    "compiled kernel to run the two-phase roofline flow on"
+                )
+            else:
+                # Resolve the session-level vendor-driver default before the
+                # workload builds its own (fresh) roofline machines.
+                run.roofline = workload.roofline(
+                    self.descriptor, spec.replace(vendor_driver=vendor_driver))
+
+        return run
+
+    # -- multi-platform comparison ------------------------------------------------------
+
+    @classmethod
+    def compare(cls, platforms: Sequence[PlatformLike],
+                workload: Union[str, Workload],
+                spec: Optional[ProfileSpec] = None) -> Comparison:
+        """Run *workload*/*spec* on every platform and compare the results.
+
+        The first platform is the baseline; flame-graph diffs of every other
+        platform against it are computed when both sides produced a cycles
+        flame graph.
+        """
+        if not platforms:
+            raise ValueError("compare needs at least one platform")
+        spec = spec or ProfileSpec()
+        workload = _resolve_workload(workload)
+        runs: List[Run] = [
+            cls(platform).run(workload, spec) for platform in platforms
+        ]
+        return Comparison.build(workload.name, spec, runs)

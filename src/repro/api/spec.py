@@ -1,0 +1,134 @@
+"""Declarative profile specifications.
+
+A :class:`ProfileSpec` says *what to measure and how* -- which events, the
+sampling period (or counting mode), whether the vendor PMU driver and the
+vectoriser are enabled, and which analyses to derive from the run -- without
+saying anything about the platform or the workload.  Specs are immutable;
+the ``with_*`` helpers return modified copies, so one base spec can be
+shared across many :meth:`repro.api.Session.run` calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.cpu.events import HwEvent
+
+#: Analyses a Session knows how to derive from one run.
+ANALYSES = ("stat", "hotspots", "flamegraph", "roofline")
+
+DEFAULT_EVENTS: Tuple[HwEvent, ...] = (HwEvent.CYCLES, HwEvent.INSTRUCTIONS)
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """What one profiling run should measure and produce.
+
+    Parameters
+    ----------
+    events:
+        The hardware events to profile.  In sampling mode they ride along in
+        the sampling group (with the group-leader workaround applied where
+        the identified CPU needs it); in counting mode each is counted.
+    sample_period:
+        Overflow period of the sampling leader.
+    vendor_driver:
+        ``True``/``False`` force the vendor PMU kernel driver on or off;
+        ``None`` uses the session default (the paper measures with vendor
+        patches installed).
+    enable_vectorizer:
+        Whether compiled-kernel workloads run the loop vectoriser.
+    seed:
+        Seed for synthetic trace generation (determinism across runs).
+    invocations:
+        How many times the workload body runs under the PMU.
+    repeats:
+        Repeats of each roofline phase (compiled kernels only).
+    analyses:
+        Which of :data:`ANALYSES` to derive.  ``stat`` counts (no samples);
+        ``hotspots`` and ``flamegraph`` need one sampling recording (shared);
+        ``roofline`` runs the two-phase compiler-driven flow and requires a
+        workload that can provide a kernel.
+    """
+
+    events: Tuple[HwEvent, ...] = DEFAULT_EVENTS
+    sample_period: int = 20_000
+    vendor_driver: Optional[bool] = None
+    enable_vectorizer: bool = True
+    seed: int = 42
+    invocations: int = 1
+    repeats: int = 1
+    analyses: Tuple[str, ...] = ("hotspots", "flamegraph")
+
+    def __post_init__(self) -> None:
+        unknown = [name for name in self.analyses if name not in ANALYSES]
+        if unknown:
+            raise ValueError(
+                f"unknown analyses {unknown}; available: {', '.join(ANALYSES)}"
+            )
+        if self.sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+
+    # -- derivation helpers -------------------------------------------------------------
+
+    def replace(self, **changes: object) -> "ProfileSpec":
+        return dataclasses.replace(self, **changes)
+
+    def with_events(self, *events: HwEvent) -> "ProfileSpec":
+        return self.replace(events=tuple(events))
+
+    def with_sample_period(self, period: int) -> "ProfileSpec":
+        return self.replace(sample_period=period)
+
+    def with_seed(self, seed: int) -> "ProfileSpec":
+        return self.replace(seed=seed)
+
+    def with_analyses(self, *analyses: str) -> "ProfileSpec":
+        return self.replace(analyses=tuple(analyses))
+
+    def with_roofline(self) -> "ProfileSpec":
+        if "roofline" in self.analyses:
+            return self
+        return self.replace(analyses=self.analyses + ("roofline",))
+
+    def counting(self) -> "ProfileSpec":
+        """Counting mode only: ``miniperf stat`` semantics, no samples."""
+        return self.replace(analyses=("stat",))
+
+    def with_vendor_driver(self, enabled: bool) -> "ProfileSpec":
+        return self.replace(vendor_driver=enabled)
+
+    def without_vendor_driver(self) -> "ProfileSpec":
+        """Model a stock kernel without vendor PMU patches."""
+        return self.replace(vendor_driver=False)
+
+    def without_vectorizer(self) -> "ProfileSpec":
+        return self.replace(enable_vectorizer=False)
+
+    # -- queries ------------------------------------------------------------------------
+
+    @property
+    def wants_sampling(self) -> bool:
+        return bool({"hotspots", "flamegraph"} & set(self.analyses))
+
+    @property
+    def wants_stat(self) -> bool:
+        return "stat" in self.analyses
+
+    @property
+    def wants_roofline(self) -> bool:
+        return "roofline" in self.analyses
+
+    def to_dict(self) -> dict:
+        return {
+            "events": [event.value for event in self.events],
+            "sample_period": self.sample_period,
+            "vendor_driver": self.vendor_driver,
+            "enable_vectorizer": self.enable_vectorizer,
+            "seed": self.seed,
+            "invocations": self.invocations,
+            "repeats": self.repeats,
+            "analyses": list(self.analyses),
+        }

@@ -44,6 +44,37 @@ class RecordingResult:
             f"({self.lost} lost), plan: {self.plan.describe()}"
         )
 
+    def to_dict(self, include_samples: bool = False) -> Dict[str, object]:
+        """Machine-consumable summary (``--json`` on the CLI).
+
+        Per-sample records are large; they are included only on request, as
+        folded stacks plus the per-sample group readouts.
+        """
+        payload: Dict[str, object] = {
+            "platform": self.platform,
+            "sample_count": self.sample_count,
+            "lost": self.lost,
+            "overall_ipc": round(self.overall_ipc, 4),
+            "final_counts": dict(self.final_counts),
+            "plan": {
+                "leader": self.plan.leader_event.value,
+                "members": [e.value for e in self.plan.member_events],
+                "sample_period": self.plan.sample_period,
+                "used_workaround": self.plan.used_workaround,
+            },
+        }
+        if include_samples:
+            payload["samples"] = [
+                {
+                    "ip": sample.ip,
+                    "time": sample.time,
+                    "callchain": list(sample.callchain),
+                    "group_values": dict(sample.group_values),
+                }
+                for sample in self.samples
+            ]
+        return payload
+
 
 def miniperf_record(machine: Machine, task: Task, workload: Callable[[], None],
                     events: Sequence[HwEvent] = (HwEvent.CYCLES, HwEvent.INSTRUCTIONS),

@@ -59,6 +59,15 @@ class HotspotReport:
                 return row
         return None
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-consumable table (``--json`` on the CLI)."""
+        return {
+            "platform": self.platform,
+            "total_samples": self.total_samples,
+            "overall_ipc": round(self.overall_ipc, 4),
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
     def format(self, count: int = 10) -> str:
         lines = [
             f"Hotspots for {self.platform} "

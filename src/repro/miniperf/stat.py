@@ -41,6 +41,15 @@ class StatResult:
             })
         return rows
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-consumable counts (``--json`` on the CLI)."""
+        return {
+            "platform": self.platform,
+            "counts": self.as_table(),
+            "ipc": round(self.ipc, 4),
+            "unsupported": [event.value for event in self.unsupported],
+        }
+
     def format(self) -> str:
         lines = [f"Performance counter stats for {self.platform}:", ""]
         for row in self.as_table():

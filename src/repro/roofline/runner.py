@@ -103,6 +103,40 @@ class KernelRooflineResult:
             ))
         return model
 
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-consumable summary (``--json`` on the CLI)."""
+        return {
+            "platform": self.platform,
+            "function": self.function,
+            "frequency_hz": self.frequency_hz,
+            "kernel_gflops": round(self.kernel_gflops, 6),
+            "kernel_arithmetic_intensity": round(
+                self.kernel_arithmetic_intensity, 6),
+            "roofs": {
+                "peak_gflops": self.roofs.peak_gflops,
+                "bandwidth_gbps": dict(self.roofs.bandwidth_gbps),
+                "source": self.roofs.source,
+            },
+            "loops": [
+                {
+                    "loop_id": loop.loop_id,
+                    "label": loop.label,
+                    "fp_ops": loop.fp_ops,
+                    "int_ops": loop.int_ops,
+                    "loaded_bytes": loop.loaded_bytes,
+                    "stored_bytes": loop.stored_bytes,
+                    "baseline_cycles": loop.baseline_cycles,
+                    "instrumented_cycles": loop.instrumented_cycles,
+                    "arithmetic_intensity": round(loop.arithmetic_intensity, 6),
+                    "gflops": round(loop.gflops(self.frequency_hz), 6),
+                    "instrumentation_overhead": (
+                        None if loop.baseline_cycles == 0
+                        else round(loop.instrumentation_overhead, 4)),
+                }
+                for loop in self.loops
+            ],
+        }
+
     def point_for_kernel(self) -> RooflinePoint:
         return RooflinePoint(
             name=self.function,
@@ -121,7 +155,8 @@ class RooflineRunner:
                  roofs: Optional[MachineRoofs] = None,
                  vector_width: Optional[int] = None,
                  enable_vectorizer: bool = True,
-                 instrument_first: bool = False):
+                 instrument_first: bool = False,
+                 vendor_driver: bool = True):
         self.descriptor = descriptor
         self.roofs = roofs or theoretical_roofs(descriptor)
         self.vector_width = (
@@ -129,6 +164,9 @@ class RooflineRunner:
         )
         self.enable_vectorizer = enable_vectorizer
         self.instrument_first = instrument_first
+        # The two-phase flow is hardware-agnostic (no PMU events are opened),
+        # but the machines it builds should still model the configured kernel.
+        self.vendor_driver = vendor_driver
 
     # -- compilation -------------------------------------------------------------------------
 
@@ -146,7 +184,7 @@ class RooflineRunner:
 
     def _execute(self, module: Module, function: str, args_builder: ArgsBuilder,
                  instrumented: bool, repeats: int) -> (Machine, RooflineRuntime):
-        machine = Machine(self.descriptor)
+        machine = Machine(self.descriptor, vendor_driver=self.vendor_driver)
         target = target_for_platform(self.descriptor)
         task = machine.create_task(function)
         runtime = RooflineRuntime(module, machine, instrumented=instrumented)

@@ -1,4 +1,9 @@
-"""The integrated toolchain: one workflow from workload to reports."""
+"""The integrated toolchain: CLI + legacy workflow facade.
+
+The profiling logic itself lives in :mod:`repro.api` (Session / ProfileSpec
+/ Run); :class:`AnalysisWorkflow` is the backwards-compatible facade over it
+and :mod:`repro.toolchain.cli` is the ``miniperf`` command-line front end.
+"""
 
 from repro.toolchain.workflow import AnalysisWorkflow, AnalysisReport
 

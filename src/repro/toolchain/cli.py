@@ -1,13 +1,23 @@
 """Command-line interface: ``miniperf <subcommand>``.
 
-Subcommands mirror the tool's modes on the modelled platforms:
+Every profiling subcommand is a thin shell over the unified session API
+(:mod:`repro.api`): it resolves ``--workload NAME`` through the registry,
+builds a declarative :class:`~repro.api.ProfileSpec` from the flags and runs
+it through a :class:`~repro.api.Session`, so every workload kind, platform
+and vendor-driver setting goes down exactly one code path.
 
 * ``capabilities``            -- print the Table-1 platform comparison;
+* ``workloads``               -- list the registered workloads;
 * ``identify --platform X``   -- show what cpuid-based identification finds;
-* ``stat --platform X``       -- count events for the sqlite3-like workload;
+* ``stat --platform X``       -- count events for a workload;
 * ``record --platform X``     -- sample it and print the hotspot table;
 * ``flamegraph --platform X`` -- same, rendered as a flame graph (text/SVG);
-* ``roofline --platform X``   -- run the compiler-driven roofline for matmul.
+* ``roofline --platform X``   -- the compiler-driven roofline for a kernel;
+* ``compare --platforms ...`` -- one workload across platforms, side by side,
+  with quantitative flame-graph diffs.
+
+``--json`` on stat/record/roofline/compare emits the machine-consumable
+export of the same run.
 """
 
 from __future__ import annotations
@@ -16,16 +26,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.cpu.events import HwEvent
-from repro.flamegraph import build_flame_graph, render_svg, render_text
+from repro.api import ProfileSpec, Session
+from repro.flamegraph import render_text
 from repro.miniperf import Miniperf
-from repro.platforms import Machine, all_platforms, platform_by_name
+from repro.miniperf.groups import SamplingNotSupportedError
+from repro.kernel.perf_event import PerfEventOpenError
+from repro.platforms import Machine, platform_by_name
 from repro.pmu.vendors import all_capabilities
-from repro.roofline.plot import render_ascii_roofline, write_svg_roofline
-from repro.roofline.runner import RooflineRunner
-from repro.toolchain.workflow import AnalysisWorkflow
-from repro.workloads import matmul_args_builder, MATMUL_TILED_SOURCE
-from repro.workloads.sqlite3_like import instruction_factor_for, sqlite3_like_workload
+from repro.roofline.plot import render_ascii_roofline, render_svg_roofline
+from repro.workloads import registry
 
 
 def _capabilities_table() -> str:
@@ -48,54 +57,72 @@ def cmd_capabilities(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    print(registry.describe())
+    return 0
+
+
 def cmd_identify(args: argparse.Namespace) -> int:
-    machine = Machine(platform_by_name(args.platform))
+    machine = Machine(platform_by_name(args.platform),
+                      vendor_driver=not args.no_vendor_driver)
     print(Miniperf(machine).describe())
     return 0
 
 
-def _build_workflow(args: argparse.Namespace) -> AnalysisWorkflow:
-    descriptor = platform_by_name(args.platform)
-    return AnalysisWorkflow(descriptor, vendor_driver=not args.no_vendor_driver)
+def _session(args: argparse.Namespace) -> Session:
+    return Session(platform_by_name(args.platform),
+                   vendor_driver=not args.no_vendor_driver)
+
+
+def _workload(args: argparse.Namespace):
+    """Resolve --workload, forwarding only the parameters its factory takes."""
+    params = {}
+    accepted = registry.params(args.workload)
+    for name in ("scale", "n"):
+        value = getattr(args, name, None)
+        if value is not None and name in accepted:
+            params[name] = value
+    return registry.create(args.workload, **params)
 
 
 def cmd_stat(args: argparse.Namespace) -> int:
-    workflow = _build_workflow(args)
-    workload = sqlite3_like_workload(scale=args.scale)
-    task = workflow.machine.create_task(workload.name)
-    from repro.workloads.synthetic import TraceExecutor
-    executor = TraceExecutor(
-        workflow.machine, task,
-        instruction_factor=instruction_factor_for(workflow.descriptor.arch))
-    result = workflow.miniperf.stat(lambda: executor.run(workload), task=task)
-    print(result.format())
+    run = _session(args).run(_workload(args), ProfileSpec().counting())
+    if "stat" in run.errors:
+        print(f"stat failed: {run.errors['stat']}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(run.to_json())
+    else:
+        print(run.stat.format())
     return 0
 
 
 def cmd_record(args: argparse.Namespace) -> int:
-    workflow = _build_workflow(args)
-    workload = sqlite3_like_workload(scale=args.scale)
-    report = workflow.profile_synthetic(
-        workload, sample_period=args.period,
-        instruction_factor=instruction_factor_for(workflow.descriptor.arch))
-    print(report.recording.describe())
+    spec = ProfileSpec(sample_period=args.period,
+                       analyses=("hotspots", "flamegraph"))
+    run = _session(args).run(_workload(args), spec)
+    if "sampling" in run.errors:
+        print(f"record failed: {run.errors['sampling']}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(run.to_json())
+        return 0
+    print(run.recording.describe())
     print()
-    print(report.hotspots.format())
+    print(run.hotspots.format())
     return 0
 
 
 def cmd_flamegraph(args: argparse.Namespace) -> int:
-    workflow = _build_workflow(args)
-    workload = sqlite3_like_workload(scale=args.scale)
-    report = workflow.profile_synthetic(
-        workload, sample_period=args.period,
-        instruction_factor=instruction_factor_for(workflow.descriptor.arch))
-    flame = (report.flame_instructions if args.metric == "instructions"
-             else report.flame_cycles)
+    spec = ProfileSpec(sample_period=args.period, analyses=("flamegraph",))
+    run = _session(args).run(_workload(args), spec)
+    if "sampling" in run.errors:
+        print(f"flamegraph failed: {run.errors['sampling']}", file=sys.stderr)
+        return 1
+    flame = run.flame(args.metric)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(render_svg(flame, title=f"{workflow.machine.name} "
-                                                 f"({args.metric})"))
+            handle.write(run.flamegraph_svg(args.metric))
         print(f"wrote {args.output}")
     else:
         print(render_text(flame, width=args.width))
@@ -103,18 +130,46 @@ def cmd_flamegraph(args: argparse.Namespace) -> int:
 
 
 def cmd_roofline(args: argparse.Namespace) -> int:
-    descriptor = platform_by_name(args.platform)
-    runner = RooflineRunner(descriptor, enable_vectorizer=not args.no_vectorize)
-    result = runner.run_source(MATMUL_TILED_SOURCE, "matmul_tiled",
-                               matmul_args_builder(args.n), filename="matmul.c")
+    spec = ProfileSpec(analyses=("roofline",),
+                       enable_vectorizer=not args.no_vectorize)
+    run = _session(args).run(_workload(args), spec)
+    if "roofline" in run.errors:
+        print(f"roofline failed: {run.errors['roofline']}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(run.to_json())
+        return 0
+    result = run.roofline
+    # One model drives both artifacts so the ASCII plot and the SVG agree.
     model = result.model()
     print(render_ascii_roofline(model))
     print()
     print(f"kernel: {result.kernel_gflops:.2f} GFLOP/s at "
           f"AI {result.kernel_arithmetic_intensity:.3f} FLOP/byte")
     if args.output:
-        write_svg_roofline(model, args.output)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_svg_roofline(model))
         print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    analyses = ("hotspots", "flamegraph")
+    workload = _workload(args)
+    if args.roofline:
+        if workload.supports_roofline:
+            analyses = analyses + ("roofline",)
+        else:
+            print(f"warning: --roofline ignored; workload {workload.name!r} "
+                  "has no compiled kernel", file=sys.stderr)
+    spec = ProfileSpec(sample_period=args.period, analyses=analyses,
+                       vendor_driver=not args.no_vendor_driver)
+    comparison = Session.compare(
+        [platform_by_name(name) for name in args.platforms], workload, spec)
+    if args.json:
+        print(comparison.to_json())
+    else:
+        print(comparison.report())
     return 0
 
 
@@ -128,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("capabilities", help="print the Table-1 comparison") \
         .set_defaults(func=cmd_capabilities)
+    subparsers.add_parser("workloads", help="list registered workloads") \
+        .set_defaults(func=cmd_workloads)
 
     def add_platform(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--platform", default="SpacemiT X60",
@@ -135,24 +192,35 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--no-vendor-driver", action="store_true",
                          help="model a stock kernel without vendor patches")
 
+    def add_workload(sub: argparse.ArgumentParser, default: str) -> None:
+        sub.add_argument("--workload", default=default,
+                         help=f"registered workload name (default: {default}; "
+                              "see 'miniperf workloads')")
+        sub.add_argument("--scale", type=int, default=None,
+                         help="work multiplier for synthetic workloads")
+        sub.add_argument("-n", type=int, default=None,
+                         help="problem size for kernel workloads")
+
     identify = subparsers.add_parser("identify", help="cpuid-based identification")
     add_platform(identify)
     identify.set_defaults(func=cmd_identify)
 
     stat = subparsers.add_parser("stat", help="counting-mode profile")
     add_platform(stat)
-    stat.add_argument("--scale", type=int, default=1)
+    add_workload(stat, "sqlite3-like")
+    stat.add_argument("--json", action="store_true", help="emit JSON")
     stat.set_defaults(func=cmd_stat)
 
     record = subparsers.add_parser("record", help="sampling profile + hotspots")
     add_platform(record)
-    record.add_argument("--scale", type=int, default=1)
+    add_workload(record, "sqlite3-like")
     record.add_argument("--period", type=int, default=20_000)
+    record.add_argument("--json", action="store_true", help="emit JSON")
     record.set_defaults(func=cmd_record)
 
     flame = subparsers.add_parser("flamegraph", help="render a flame graph")
     add_platform(flame)
-    flame.add_argument("--scale", type=int, default=1)
+    add_workload(flame, "sqlite3-like")
     flame.add_argument("--period", type=int, default=20_000)
     flame.add_argument("--metric", choices=["cycles", "instructions"],
                        default="cycles")
@@ -162,17 +230,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     roofline = subparsers.add_parser("roofline", help="compiler-driven roofline")
     add_platform(roofline)
-    roofline.add_argument("-n", type=int, default=32, help="matrix dimension")
+    add_workload(roofline, "matmul-tiled")
     roofline.add_argument("--no-vectorize", action="store_true")
     roofline.add_argument("--output", help="write SVG to this path")
+    roofline.add_argument("--json", action="store_true", help="emit JSON")
     roofline.set_defaults(func=cmd_roofline)
+
+    compare = subparsers.add_parser(
+        "compare", help="one workload across platforms, side by side")
+    compare.add_argument("--platforms", nargs="+",
+                         default=["SpacemiT X60", "Intel Core i5-1135G7"],
+                         help="two or more platform names; the first is the "
+                              "flame-graph diff baseline")
+    compare.add_argument("--no-vendor-driver", action="store_true",
+                         help="model stock kernels without vendor patches")
+    add_workload(compare, "sqlite3-like")
+    compare.add_argument("--period", type=int, default=20_000)
+    compare.add_argument("--roofline", action="store_true",
+                         help="also run the roofline flow (kernel workloads)")
+    compare.add_argument("--json", action="store_true", help="emit JSON")
+    compare.set_defaults(func=cmd_compare)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (KeyError, SamplingNotSupportedError, PerfEventOpenError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

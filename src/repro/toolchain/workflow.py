@@ -1,33 +1,36 @@
-"""The unified analysis workflow (the paper's third contribution).
+"""Compatibility shim over the unified session API (:mod:`repro.api`).
 
-One object orchestrates everything the paper's open-source toolchain does:
-identify the CPU, profile a workload with the PMU workaround applied where
-needed, build hotspot tables and flame graphs from the samples, and run the
-compiler-driven roofline flow for compiled kernels -- producing a single
-report combining PMU-derived and compiler-derived views.
+This module used to *be* the unified workflow; the profiling-session
+redesign moved that role to :class:`repro.api.Session`, which profiles any
+registered workload (synthetic trace replays *and* compiled kernels) under a
+declarative :class:`repro.api.ProfileSpec` and supports multi-platform
+comparison runs.  New code should use it directly::
+
+    from repro.api import ProfileSpec, Session
+    run = Session("SpacemiT X60").run("sqlite3-like", ProfileSpec())
+
+:class:`AnalysisWorkflow` and :class:`AnalysisReport` are kept as thin
+wrappers so existing callers keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
-from repro.cpu.events import HwEvent
-from repro.flamegraph import FlameNode, build_flame_graph, render_text
-from repro.miniperf import Miniperf
+from repro.api import ProfileSpec, Session, SyntheticTraceWorkload, CompiledKernelWorkload
+from repro.flamegraph import FlameNode, render_text
 from repro.miniperf.record import RecordingResult
 from repro.miniperf.report import HotspotReport
 from repro.platforms.descriptors import PlatformDescriptor
-from repro.platforms.machine import Machine
-from repro.roofline.model import RooflineModel
 from repro.roofline.plot import render_ascii_roofline
-from repro.roofline.runner import KernelRooflineResult, RooflineRunner
-from repro.workloads.synthetic import SyntheticWorkload, TraceExecutor
+from repro.roofline.runner import KernelRooflineResult
+from repro.workloads.synthetic import SyntheticWorkload
 
 
 @dataclass
 class AnalysisReport:
-    """Everything one workflow run produced."""
+    """Everything one workflow run produced (legacy shape of :class:`repro.api.Run`)."""
 
     platform: str
     cpu_description: str = ""
@@ -52,12 +55,13 @@ class AnalysisReport:
 
 
 class AnalysisWorkflow:
-    """Drives miniperf + roofline analysis for one platform."""
+    """Drives miniperf + roofline analysis for one platform (legacy facade)."""
 
     def __init__(self, descriptor: PlatformDescriptor, vendor_driver: bool = True):
         self.descriptor = descriptor
-        self.machine = Machine(descriptor, vendor_driver=vendor_driver)
-        self.miniperf = Miniperf(self.machine)
+        self.session = Session(descriptor, vendor_driver=vendor_driver)
+        self.machine = self.session.machine()
+        self.miniperf = self.session.miniperf()
 
     # -- PMU-based flow -----------------------------------------------------------------
 
@@ -65,28 +69,25 @@ class AnalysisWorkflow:
                           sample_period: int = 20_000, seed: int = 42,
                           instruction_factor: Optional[float] = None) -> AnalysisReport:
         """Record a synthetic workload and build hotspots + flame graphs."""
-        task = self.machine.create_task(workload.name)
-        executor = TraceExecutor(self.machine, task, seed=seed,
-                                 instruction_factor=instruction_factor)
-
-        def run() -> None:
-            executor.run(workload, invocations=invocations)
-
-        recording = self.miniperf.record(
-            run, task=task,
-            events=(HwEvent.CYCLES, HwEvent.INSTRUCTIONS),
-            sample_period=sample_period,
+        run = self.session.run(
+            SyntheticTraceWorkload(tree=workload,
+                                   instruction_factor=instruction_factor,
+                                   auto_instruction_factor=False),
+            ProfileSpec(sample_period=sample_period, seed=seed,
+                        invocations=invocations,
+                        analyses=("hotspots", "flamegraph")),
         )
-        report = AnalysisReport(
-            platform=self.machine.name,
-            cpu_description=self.miniperf.describe(),
-            recording=recording,
-            hotspots=self.miniperf.hotspots(recording),
-            flame_cycles=build_flame_graph(recording.samples, weight="samples"),
-            flame_instructions=build_flame_graph(recording.samples,
-                                                 weight="instructions"),
+        if "sampling" in run.failures:
+            # The session API degrades gracefully; the legacy facade raised.
+            raise run.failures["sampling"]
+        return AnalysisReport(
+            platform=run.platform,
+            cpu_description=run.cpu_description,
+            recording=run.recording,
+            hotspots=run.hotspots,
+            flame_cycles=run.flame_cycles,
+            flame_instructions=run.flame_instructions,
         )
-        return report
 
     # -- compiler-based flow -------------------------------------------------------------------
 
@@ -94,9 +95,13 @@ class AnalysisWorkflow:
                         repeats: int = 1,
                         enable_vectorizer: bool = True) -> KernelRooflineResult:
         """Run the two-phase compiler-driven roofline flow for one kernel."""
-        runner = RooflineRunner(self.descriptor,
-                                enable_vectorizer=enable_vectorizer)
-        return runner.run_source(source, function, args_builder, repeats=repeats)
+        run = self.session.run(
+            CompiledKernelWorkload(name=function, source=source,
+                                   function=function, args_builder=args_builder),
+            ProfileSpec(analyses=("roofline",), repeats=repeats,
+                        enable_vectorizer=enable_vectorizer),
+        )
+        return run.roofline
 
     def full_report(self, workload: SyntheticWorkload, kernel_source: str,
                     kernel_function: str, kernel_args_builder,

@@ -11,6 +11,14 @@ Two families:
   machine model with a realistic call-stack structure and instruction mix;
   the sqlite3-like workload reproduces the hotspot distribution of the
   paper's Table 2 / Figure 3 without needing the real sqlite3 amalgamation.
+
+Both families are discoverable by name through :data:`registry`
+(:mod:`repro.workloads.registry`), which is what the session API
+(:mod:`repro.api`) and the CLI consume::
+
+    from repro.workloads import registry
+    workload = registry["sqlite3-like"]          # defaults
+    workload = registry.create("matmul-tiled", n=32)
 """
 
 from repro.workloads.kernels import (
@@ -24,6 +32,7 @@ from repro.workloads.kernels import (
     dot_args_builder,
     triad_args_builder,
     stencil_args_builder,
+    memset_args_builder,
 )
 from repro.workloads.synthetic import (
     SyntheticFunction,
@@ -32,6 +41,7 @@ from repro.workloads.synthetic import (
     TraceExecutor,
 )
 from repro.workloads.sqlite3_like import sqlite3_like_workload, SQLITE3_HOT_FUNCTIONS
+from repro.workloads.registry import WorkloadRegistry, micro_calltree_workload, registry
 
 __all__ = [
     "MATMUL_TILED_SOURCE",
@@ -44,10 +54,14 @@ __all__ = [
     "dot_args_builder",
     "triad_args_builder",
     "stencil_args_builder",
+    "memset_args_builder",
     "SyntheticFunction",
     "SyntheticWorkload",
     "InstructionMix",
     "TraceExecutor",
     "sqlite3_like_workload",
     "SQLITE3_HOT_FUNCTIONS",
+    "WorkloadRegistry",
+    "micro_calltree_workload",
+    "registry",
 ]

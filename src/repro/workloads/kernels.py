@@ -127,6 +127,14 @@ def stencil_args_builder(n: int, seed: int = 17):
     return build
 
 
+def memset_args_builder(n: int, value: float = 1.0):
+    def build(memory: Memory) -> Sequence[object]:
+        dst = memory.alloc_float_array([0.0] * n)
+        return [dst, value, n]
+
+    return build
+
+
 def analytic_matmul_counts(n: int) -> dict:
     """Closed-form operation counts for an n x n x n matmul.
 
