@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (``pip install -e . --no-build-isolation``)
+on environments whose setuptools predates wheel-less PEP 660 support.  All
+project metadata lives in pyproject.toml (PEP 621)."""
+
+from setuptools import setup
+
+setup()

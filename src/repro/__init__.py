@@ -17,7 +17,7 @@ Quick start::
     print(run.hotspots.format())
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.platforms import (
     Machine,
@@ -30,11 +30,13 @@ from repro.platforms import (
 )
 from repro.miniperf import Miniperf
 from repro.api import Comparison, ProfileSpec, Run, Session
+from repro.smp import MultiHartMachine
 from repro.toolchain import AnalysisWorkflow
 
 __all__ = [
     "__version__",
     "Machine",
+    "MultiHartMachine",
     "Miniperf",
     "Session",
     "ProfileSpec",

@@ -1,0 +1,8 @@
+"""``python -m repro``: the same CLI the ``repro`` console script exposes."""
+
+import sys
+
+from repro.toolchain.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

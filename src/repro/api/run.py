@@ -38,6 +38,13 @@ class Run:
     workload: str
     spec: ProfileSpec
     cpu_description: str = ""
+    #: Hart count of the run; SMP runs (cpus > 1) hold SMP result types
+    #: (:class:`repro.smp.SmpStatResult` / :class:`repro.smp.SmpRecordingResult`)
+    #: in :attr:`stat`/:attr:`recording` -- same exporter surface, plus
+    #: per-hart breakdowns.
+    cpus: int = 1
+    #: The executed schedule of an SMP run (None on single-hart runs).
+    schedule: Optional[object] = None
     stat: Optional[StatResult] = None
     recording: Optional[RecordingResult] = None
     hotspots: Optional[HotspotReport] = None
@@ -106,7 +113,10 @@ class Run:
             "workload": self.workload,
             "spec": self.spec.to_dict(),
             "cpu": self.cpu_description,
+            "cpus": self.cpus,
         }
+        if self.schedule is not None and hasattr(self.schedule, "to_dict"):
+            payload["schedule"] = self.schedule.to_dict()
         if self.stat is not None:
             payload["stat"] = self.stat.to_dict()
         if self.recording is not None:

@@ -62,6 +62,7 @@ class Session:
         self.default_vendor_driver = vendor_driver
         self._machines: Dict[bool, Machine] = {}
         self._tools: Dict[bool, Miniperf] = {}
+        self._smp_machines: Dict[tuple, "object"] = {}
 
     # -- lazy machine ownership ---------------------------------------------------------
 
@@ -87,6 +88,18 @@ class Session:
             self._tools[key] = tool
         return tool
 
+    def smp_machine(self, cpus: int, vendor_driver: Optional[bool] = None):
+        """The (lazily built, cached) multi-hart machine for an SMP run."""
+        from repro.smp import MultiHartMachine
+        key = (self.default_vendor_driver if vendor_driver is None
+               else vendor_driver, cpus)
+        machine = self._smp_machines.get(key)
+        if machine is None:
+            machine = MultiHartMachine(self.descriptor, cpus,
+                                       vendor_driver=key[0])
+            self._smp_machines[key] = machine
+        return machine
+
     @property
     def platform(self) -> str:
         return self.descriptor.name
@@ -97,8 +110,14 @@ class Session:
     # -- running ------------------------------------------------------------------------
 
     def run(self, workload: Union[str, Workload],
-            spec: Optional[ProfileSpec] = None) -> Run:
+            spec: Optional[ProfileSpec] = None,
+            cpus: Optional[int] = None) -> Run:
         """Profile *workload* according to *spec* and return a uniform Run.
+
+        ``cpus`` (or ``spec.cpus``) selects the machine: 1 keeps the
+        single-hart fast path exactly as before; more harts route through the
+        SMP subsystem (:mod:`repro.smp`) for system-wide counting, per-hart
+        sample streams and merged, hart-labelled flame graphs.
 
         Analyses that the platform cannot deliver (e.g. sampling on a part
         whose counters cannot raise overflow interrupts, or a roofline for a
@@ -107,7 +126,11 @@ class Session:
         degrade per-platform exactly the way the paper's Table 1 predicts.
         """
         spec = spec or ProfileSpec()
+        if cpus is not None and cpus != spec.cpus:
+            spec = spec.replace(cpus=cpus)
         workload = _resolve_workload(workload)
+        if spec.cpus > 1:
+            return self._run_smp(workload, spec)
         vendor_driver = self._effective_vendor_driver(spec)
         machine = self.machine(vendor_driver)
         tool = self.miniperf(vendor_driver)
@@ -158,6 +181,106 @@ class Session:
                 # workload builds its own (fresh) roofline machines.
                 run.roofline = workload.roofline(
                     self.descriptor, spec.replace(vendor_driver=vendor_driver))
+
+        return run
+
+    # -- SMP runs ------------------------------------------------------------------------
+
+    def _threads_for(self, workload: Workload, spec: ProfileSpec):
+        """Shard *workload* for an SMP run.
+
+        Workloads implementing the :class:`~repro.workloads.parallel.
+        ParallelWorkload` protocol shard themselves; any other workload runs
+        as one software thread (on hart 0), which is what an unthreaded
+        program does on an SMP box.
+        """
+        threads = getattr(workload, "threads", None)
+        if callable(threads):
+            return threads(spec.cpus, spec)
+
+        def body(machine, task):
+            workload.executable(machine, task, spec)()
+            yield
+
+        return [(workload.name, body)]
+
+    def _run_smp(self, workload: Workload, spec: ProfileSpec) -> Run:
+        """System-wide profiling on a multi-hart machine."""
+        from repro.flamegraph import merge_flame_graphs
+        from repro.miniperf.groups import SamplingNotSupportedError as _SNS
+        from repro.smp import aggregate_roofline, smp_record, smp_stat
+
+        vendor_driver = self._effective_vendor_driver(spec)
+        tool = self.miniperf(vendor_driver)
+        run = Run(
+            platform=self.descriptor.name,
+            workload=workload.name,
+            spec=spec,
+            cpus=spec.cpus,
+            cpu_description=tool.describe(),
+        )
+        try:
+            machine = self.smp_machine(spec.cpus, vendor_driver)
+        except ValueError as error:
+            # A hart count the board cannot provide degrades per-run (and
+            # therefore per-platform in Session.compare), like any other
+            # undeliverable analysis.  Error keys mirror the ones the
+            # analyses below use: stat / sampling / roofline.
+            failed = set()
+            if spec.wants_stat:
+                failed.add("stat")
+            if spec.wants_sampling:
+                failed.add("sampling")
+            if spec.wants_roofline:
+                failed.add("roofline")
+            for key in sorted(failed):
+                run.errors[key] = str(error)
+                run.failures[key] = error
+            return run
+
+        if spec.wants_stat:
+            try:
+                run.stat = smp_stat(machine, self._threads_for(workload, spec),
+                                    events=spec.events)
+                run.schedule = run.stat.schedule
+            except PerfEventOpenError as error:
+                run.errors["stat"] = str(error)
+                run.failures["stat"] = error
+
+        if spec.wants_sampling:
+            try:
+                run.recording = smp_record(
+                    machine, self._threads_for(workload, spec),
+                    events=spec.events, sample_period=spec.sample_period,
+                )
+                run.schedule = run.recording.schedule
+            except (_SNS, PerfEventOpenError) as error:
+                run.errors["sampling"] = str(error)
+                run.failures["sampling"] = error
+            if run.recording is not None:
+                if "hotspots" in spec.analyses:
+                    run.hotspots = run.recording.hotspots()
+                if "flamegraph" in spec.analyses:
+                    run.flame_cycles = run.recording.flame_graph(weight="samples")
+                    run.flame_instructions = run.recording.flame_graph(
+                        weight="instructions")
+
+        if spec.wants_roofline:
+            if not workload.supports_roofline:
+                run.errors["roofline"] = (
+                    f"workload {workload.name!r} ({workload.kind}) has no "
+                    "compiled kernel to run the two-phase roofline flow on"
+                )
+            else:
+                # The kernel point is measured on one hart; the roofs are
+                # aggregated over all harts.  The shared levels (DRAM and
+                # the platform's LLC, which SharedMemorySystem shares across
+                # harts) keep their single-instance bandwidth.
+                single = workload.roofline(
+                    self.descriptor, spec.replace(vendor_driver=vendor_driver))
+                run.roofline = aggregate_roofline(
+                    single, spec.cpus,
+                    shared_levels=("DRAM", self.descriptor.caches[-1].name))
 
         return run
 

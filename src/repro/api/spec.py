@@ -46,6 +46,11 @@ class ProfileSpec:
         How many times the workload body runs under the PMU.
     repeats:
         Repeats of each roofline phase (compiled kernels only).
+    cpus:
+        How many harts to profile on.  ``1`` (the default) is the single-hart
+        fast path, byte-identical to previous releases; ``cpus > 1`` builds a
+        :class:`repro.smp.MultiHartMachine` and runs system-wide, with
+        per-hart counts and cpu-tagged sample streams.
     analyses:
         Which of :data:`ANALYSES` to derive.  ``stat`` counts (no samples);
         ``hotspots`` and ``flamegraph`` need one sampling recording (shared);
@@ -60,6 +65,7 @@ class ProfileSpec:
     seed: int = 42
     invocations: int = 1
     repeats: int = 1
+    cpus: int = 1
     analyses: Tuple[str, ...] = ("hotspots", "flamegraph")
 
     def __post_init__(self) -> None:
@@ -70,6 +76,8 @@ class ProfileSpec:
             )
         if self.sample_period <= 0:
             raise ValueError("sample_period must be positive")
+        if self.cpus < 1:
+            raise ValueError(f"cpus must be >= 1 (got {self.cpus})")
 
     # -- derivation helpers -------------------------------------------------------------
 
@@ -84,6 +92,10 @@ class ProfileSpec:
 
     def with_seed(self, seed: int) -> "ProfileSpec":
         return self.replace(seed=seed)
+
+    def with_cpus(self, cpus: int) -> "ProfileSpec":
+        """Profile on *cpus* harts (1 = the single-hart fast path)."""
+        return self.replace(cpus=cpus)
 
     def with_analyses(self, *analyses: str) -> "ProfileSpec":
         return self.replace(analyses=tuple(analyses))
@@ -130,5 +142,6 @@ class ProfileSpec:
             "seed": self.seed,
             "invocations": self.invocations,
             "repeats": self.repeats,
+            "cpus": self.cpus,
             "analyses": list(self.analyses),
         }

@@ -8,7 +8,12 @@ event's per-sample delta (the instructions-retired variant of the paper's
 Figure 3).
 """
 
-from repro.flamegraph.model import FlameNode, build_flame_graph, fold_stacks
+from repro.flamegraph.model import (
+    FlameNode,
+    build_flame_graph,
+    fold_stacks,
+    merge_flame_graphs,
+)
 from repro.flamegraph.render_text import render_text
 from repro.flamegraph.render_svg import render_svg
 from repro.flamegraph.diff import diff_flame_graphs, FrameDiff
@@ -17,6 +22,7 @@ __all__ = [
     "FlameNode",
     "build_flame_graph",
     "fold_stacks",
+    "merge_flame_graphs",
     "render_text",
     "render_svg",
     "diff_flame_graphs",

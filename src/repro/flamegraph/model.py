@@ -106,6 +106,36 @@ def build_flame_graph(samples: Sequence[SampleRecord], weight: str = "samples") 
     return root
 
 
+def merge_flame_graphs(named_roots: Dict[str, FlameNode],
+                       name: str = "all") -> FlameNode:
+    """Graft several flame graphs under one root, labelled by their key.
+
+    Used for SMP recordings: each hart's flame graph becomes a ``cpuN``
+    frame directly under the merged root, so per-hart time is visible as
+    first-level frame widths while the per-hart call trees stay intact.
+    Keys are laid out in sorted order (the flame-graph x-axis convention).
+    """
+
+    def graft(parent: FlameNode, node: FlameNode) -> None:
+        for child in node.children.values():
+            target = parent.child(child.name)
+            target.value += child.value
+            target.self_value += child.self_value
+            graft(target, child)
+
+    root = FlameNode(name)
+    for label in sorted(named_roots):
+        source = named_roots[label]
+        if source.value == 0:
+            continue
+        frame = root.child(label)
+        frame.value += source.value
+        frame.self_value += source.self_value
+        root.value += source.value
+        graft(frame, source)
+    return root
+
+
 def fold_stacks(samples: Sequence[SampleRecord], weight: str = "samples") -> List[str]:
     """Produce Brendan Gregg's folded-stack format (``a;b;c count``)."""
     collapsed: Dict[Tuple[str, ...], int] = {}

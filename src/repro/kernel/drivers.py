@@ -115,11 +115,14 @@ class RiscvSbiPmuDriver(PmuDriver):
     name = "riscv-sbi-pmu"
 
     def __init__(self, sbi: OpenSbi, csr: CsrFile, pmu: PmuUnit,
-                 vendor_driver: bool = True):
+                 vendor_driver: bool = True, hart_id: int = 0):
         self.sbi = sbi
         self.csr = csr
         self.pmu = pmu
         self.vendor_driver = vendor_driver
+        #: Which hart's counters this driver instance programs (the real
+        #: driver keeps per-CPU state for exactly this reason).
+        self.hart_id = hart_id
         self.sbi_read_fallbacks = 0
         self.direct_reads = 0
 
@@ -229,8 +232,9 @@ class X86PmuDriver(PmuDriver):
 
     name = "x86-core-pmu"
 
-    def __init__(self, pmu: PmuUnit):
+    def __init__(self, pmu: PmuUnit, hart_id: int = 0):
         self.pmu = pmu
+        self.hart_id = hart_id
 
     def supports_event(self, event: HwEvent) -> bool:
         return self.pmu.supports_event(event)

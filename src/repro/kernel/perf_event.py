@@ -151,11 +151,24 @@ class PerfEventSubsystem:
     clock:
         A callable returning the current time in machine cycles; used for
         ``time_enabled``/``time_running`` accounting and sample timestamps.
+    cpu:
+        Logical CPU (hart) index this subsystem belongs to; stamped into
+        every sample so multi-hart recordings keep per-hart streams apart.
+    current_task:
+        Optional provider of the task currently running on this CPU.  When
+        it returns a task, sampling interrupts attribute to that task rather
+        than the event's opening task -- the system-wide (``cpu=-1``-style)
+        attribution semantics.  When None or returning None, samples
+        attribute to the opening task exactly as before.
     """
 
-    def __init__(self, driver: PmuDriver, clock: Callable[[], int]):
+    def __init__(self, driver: PmuDriver, clock: Callable[[], int],
+                 cpu: int = 0,
+                 current_task: Optional[Callable[[], Optional[Task]]] = None):
         self.driver = driver
         self.clock = clock
+        self.cpu = cpu
+        self.current_task = current_task
         self._events: Dict[int, PerfEvent] = {}
         self._fd_counter = itertools.count(3)
         self.overflow_interrupts = 0
@@ -335,6 +348,10 @@ class PerfEventSubsystem:
         """The PMU interrupt handler: snapshot context, write a sample."""
         self.overflow_interrupts += 1
         task = event.task
+        if self.current_task is not None:
+            running = self.current_task()
+            if running is not None:
+                task = running
         if event.attr.exclude_kernel and task.in_kernel:
             return
         if event.attr.exclude_user and not task.in_kernel:
@@ -363,6 +380,7 @@ class PerfEventSubsystem:
             event=event.attr.event.value,
             callchain=callchain,
             group_values=group_values,
+            cpu=self.cpu,
         )
         buffer = event.ring_buffer
         if buffer is None:

@@ -61,6 +61,9 @@ class PlatformDescriptor:
     pmu_class: Type[PmuUnit]
     upstream_linux: str               # "yes" | "partial" | "no"
     march: str = ""                   # compiler target string (-march=...)
+    #: Physical hart (core) count of the board; ``--cpus``/``-a`` on the CLI
+    #: and :class:`repro.smp.MultiHartMachine` scale up to this.
+    harts: int = 1
 
     @property
     def is_riscv(self) -> bool:
@@ -119,6 +122,7 @@ def spacemit_x60() -> PlatformDescriptor:
         pmu_class=SpacemitX60Pmu,
         upstream_linux="no",
         march="rv64gcv",
+        harts=8,                       # the Banana Pi F3 is an octa-core part
     )
 
 
@@ -154,6 +158,7 @@ def sifive_u74() -> PlatformDescriptor:
         pmu_class=SiFiveU74Pmu,
         upstream_linux="yes",
         march="rv64gc",
+        harts=4,                       # JH7110: four U74 application harts
     )
 
 
@@ -189,6 +194,7 @@ def thead_c910() -> PlatformDescriptor:
         pmu_class=TheadC910Pmu,
         upstream_linux="partial",
         march="rv64gc_v0p7",
+        harts=4,                       # TH1520: quad C910 cluster
     )
 
 
@@ -230,6 +236,7 @@ def intel_i5_1135g7() -> PlatformDescriptor:
         pmu_class=IntelTigerLakePmu,
         upstream_linux="yes",
         march="x86-64-v3",
+        harts=4,                       # i5-1135G7: four Willow Cove cores
     )
 
 

@@ -39,13 +39,30 @@ class Machine:
         without upstream Linux support (the X60's mode-cycle events are only
         visible with the vendor driver); defaults to True because that is the
         configuration the paper measures.
+    hierarchy:
+        Memory hierarchy to use instead of building a private
+        :class:`CacheHierarchy` from the descriptor.  The SMP machine
+        (:class:`repro.smp.MultiHartMachine`) passes per-hart views of a
+        shared LLC here; standalone machines leave it None.
+    hart_id:
+        Which hart this machine models.  Standalone machines are hart 0;
+        inside a multi-hart machine each hart gets its own id, which tags
+        perf samples (the ``cpu`` field) and the firmware/driver instances.
     """
 
-    def __init__(self, descriptor: PlatformDescriptor, vendor_driver: bool = True):
+    def __init__(self, descriptor: PlatformDescriptor, vendor_driver: bool = True,
+                 hierarchy=None, hart_id: int = 0):
         self.descriptor = descriptor
+        self.hart_id = hart_id
         self.bus = EventBus()
-        self.hierarchy = CacheHierarchy(descriptor.caches, descriptor.memory)
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else CacheHierarchy(descriptor.caches, descriptor.memory))
         self.predictor = GsharePredictor()
+        #: The task currently scheduled on this hart (set by the SMP
+        #: scheduler around each quantum).  When set, sampling interrupts
+        #: attribute to it instead of the perf event's opening task, the way
+        #: system-wide (cpu-bound) perf events sample whatever runs on the CPU.
+        self.current_task: Optional[Task] = None
 
         core_cls = OutOfOrderCore if descriptor.core.out_of_order else InOrderCore
         self.core: CoreTimingModel = core_cls(
@@ -57,15 +74,20 @@ class Machine:
 
         self.sbi: Optional[OpenSbi] = None
         if descriptor.is_riscv:
-            self.sbi = OpenSbi(self.csr)
-            self.sbi.register_extension(SbiPmuExtension(self.csr, self.pmu))
+            self.sbi = OpenSbi(self.csr, hart_id=hart_id)
+            self.sbi.register_extension(
+                SbiPmuExtension(self.csr, self.pmu, hart_id=hart_id))
             self.driver: PmuDriver = RiscvSbiPmuDriver(
-                self.sbi, self.csr, self.pmu, vendor_driver=vendor_driver
+                self.sbi, self.csr, self.pmu, vendor_driver=vendor_driver,
+                hart_id=hart_id,
             )
         else:
-            self.driver = X86PmuDriver(self.pmu)
+            self.driver = X86PmuDriver(self.pmu, hart_id=hart_id)
 
-        self.perf = PerfEventSubsystem(self.driver, clock=self.clock)
+        self.perf = PerfEventSubsystem(
+            self.driver, clock=self.clock, cpu=hart_id,
+            current_task=lambda: self.current_task,
+        )
         self._tasks: Dict[int, Task] = {}
 
     # -- identity & capability ----------------------------------------------------

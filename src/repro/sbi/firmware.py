@@ -68,11 +68,14 @@ class OpenSbi:
 
     The firmware is the only agent allowed to touch machine-level CSRs; the
     kernel reaches it exclusively through :meth:`ecall`, mirroring the
-    privilege boundary on real hardware.
+    privilege boundary on real hardware.  On an SMP machine every hart runs
+    its own firmware context (OpenSBI keeps per-hart scratch state); the
+    ``hart_id`` identifies which hart this context serves.
     """
 
-    def __init__(self, csr: CsrFile):
+    def __init__(self, csr: CsrFile, hart_id: int = 0):
         self.csr = csr
+        self.hart_id = hart_id
         self._extensions: Dict[int, SbiExtension] = {}
         self.ecall_count = 0
 

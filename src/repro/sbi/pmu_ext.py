@@ -54,13 +54,20 @@ class CounterInfo:
 
 
 class SbiPmuExtension(SbiExtension):
-    """Firmware-side PMU management for one hart."""
+    """Firmware-side PMU management for one hart.
+
+    The SBI PMU extension is inherently per-hart: counters, selectors and
+    ``mcountinhibit`` live in the hart's own CSR file, so each hart of an SMP
+    machine gets its own extension instance bound to its own PMU, identified
+    by ``hart_id``.
+    """
 
     extension_id = SBI_EXT_PMU
 
-    def __init__(self, csr: CsrFile, pmu: PmuUnit):
+    def __init__(self, csr: CsrFile, pmu: PmuUnit, hart_id: int = 0):
         self.csr = csr
         self.pmu = pmu
+        self.hart_id = hart_id
         #: raw selector code -> HwEvent, built from the PMU's vendor table.
         self._code_to_event: Dict[int, HwEvent] = {
             pmu.event_code(event): event for event in pmu.supported_events()

@@ -1,0 +1,272 @@
+"""The SMP memory system: private caches, a shared LLC, contended DRAM.
+
+On every real board the paper profiles, the harts share the last-level cache
+and the memory controller while keeping private L1s (the X60 clusters share
+an L2, the U74 complex shares its L2, Tiger Lake cores share the L3).  The
+SMP model mirrors that split: every cache level of the platform descriptor
+except the last is instantiated privately per hart, the last level is one
+:class:`~repro.cpu.cache.Cache` instance shared by all harts, and DRAM sits
+behind a :class:`MemoryController` with a deterministic bandwidth-contention
+model.
+
+Each hart sees the system through a :class:`HartCacheHierarchy`, which is
+API-compatible with the single-hart
+:class:`~repro.cpu.cache.CacheHierarchy` (``access``/``stats``/``level``/
+``line_bytes``), so the core timing models and PMU event publication work
+unchanged: a hart's L1 miss counters are private, while shared-LLC misses
+are attributed to the hart whose access missed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.cpu.cache import AccessResult, Cache, CacheConfig, MemoryConfig
+
+
+class MemoryController:
+    """Shared DRAM with a deterministic bandwidth-contention model.
+
+    Harts advance their own clocks, so contention cannot be modelled with a
+    global busy-until timeline.  Instead the controller watches the *access
+    interleaving*: it remembers which harts issued the last ``window`` DRAM
+    accesses, and stretches the latency of each access by
+    ``contention_per_hart`` for every *other* hart currently competing.  With
+    a single hart the latency is exactly the configured DRAM latency, so a
+    one-hart SMP machine times accesses identically to the single-hart model.
+    The interleaving is produced by the deterministic scheduler, which makes
+    the whole contention model reproducible run to run.
+    """
+
+    def __init__(self, config: MemoryConfig, window: int = 32,
+                 contention_per_hart: float = 0.5):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if contention_per_hart < 0:
+            raise ValueError("contention_per_hart must be non-negative")
+        self.config = config
+        self.contention_per_hart = contention_per_hart
+        self._recent: Deque[int] = deque(maxlen=window)
+        self.accesses = 0
+        self.read_bytes = 0
+        self.write_bytes = 0
+        self.per_hart_accesses: Dict[int, int] = {}
+        self.per_hart_bytes: Dict[int, int] = {}
+        self.contended_accesses = 0
+
+    def competing_harts(self) -> int:
+        """Number of distinct harts among the recent accesses."""
+        return len(set(self._recent)) or 1
+
+    def access_latency(self, hart_id: int) -> int:
+        """Record one DRAM access by *hart_id* and return its latency."""
+        self._recent.append(hart_id)
+        self.accesses += 1
+        self.per_hart_accesses[hart_id] = self.per_hart_accesses.get(hart_id, 0) + 1
+        competing = self.competing_harts()
+        if competing <= 1:
+            return self.config.latency_cycles
+        self.contended_accesses += 1
+        factor = 1.0 + self.contention_per_hart * (competing - 1)
+        return int(self.config.latency_cycles * factor)
+
+    def account_bytes(self, hart_id: int, read_bytes: int, write_bytes: int) -> None:
+        self.read_bytes += read_bytes
+        self.write_bytes += write_bytes
+        self.per_hart_bytes[hart_id] = (
+            self.per_hart_bytes.get(hart_id, 0) + read_bytes + write_bytes
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "accesses": self.accesses,
+            "read_bytes": self.read_bytes,
+            "write_bytes": self.write_bytes,
+            "contended_accesses": self.contended_accesses,
+            "per_hart_accesses": dict(self.per_hart_accesses),
+        }
+
+
+class HartCacheHierarchy:
+    """One hart's view of the SMP memory system.
+
+    Walks accesses through the hart's private levels, then the shared levels,
+    then the contended memory controller -- same inclusive fill discipline as
+    :class:`~repro.cpu.cache.CacheHierarchy`, so a single-hart SMP machine
+    produces identical hit/miss/latency sequences to the single-hart model.
+    """
+
+    def __init__(self, hart_id: int, private_configs: List[CacheConfig],
+                 shared_levels: List[Cache], controller: MemoryController):
+        self.hart_id = hart_id
+        self.private_levels = [Cache(cfg) for cfg in private_configs]
+        self.shared_levels = shared_levels
+        self.controller = controller
+        self.memory = controller.config
+        self.dram_read_bytes = 0
+        self.dram_write_bytes = 0
+        self.dram_accesses = 0
+
+    @property
+    def levels(self) -> List[Cache]:
+        return self.private_levels + self.shared_levels
+
+    @property
+    def line_bytes(self) -> int:
+        return self.levels[0].config.line_bytes
+
+    def access(self, address: int, size_bytes: int, is_store: bool) -> AccessResult:
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        line = self.line_bytes
+        first = address // line
+        last = (address + size_bytes - 1) // line
+        worst: Optional[AccessResult] = None
+        total_dram = 0
+        l1_miss = False
+        llc_miss = False
+        for line_index in range(first, last + 1):
+            result = self._access_line(line_index * line, is_store)
+            total_dram += result.dram_bytes
+            l1_miss = l1_miss or result.l1_miss
+            llc_miss = llc_miss or result.llc_miss
+            if worst is None or result.latency > worst.latency:
+                worst = result
+        assert worst is not None
+        return AccessResult(
+            hit_level=worst.hit_level,
+            latency=worst.latency,
+            l1_miss=l1_miss,
+            llc_miss=llc_miss,
+            dram_bytes=total_dram,
+            levels_missed=worst.levels_missed,
+        )
+
+    def _access_line(self, address: int, is_store: bool) -> AccessResult:
+        levels = self.levels
+        latency = 0
+        missed: List[str] = []
+        for depth, cache in enumerate(levels):
+            latency += cache.config.hit_latency
+            if cache.access(address, is_store):
+                for upper in levels[:depth]:
+                    upper.fill(address, is_store)
+                return AccessResult(
+                    hit_level=cache.config.name,
+                    latency=latency,
+                    l1_miss=depth > 0,
+                    llc_miss=False,
+                    dram_bytes=0,
+                    levels_missed=missed,
+                )
+            missed.append(cache.config.name)
+        # Missed every level, private and shared: go to contended DRAM.
+        latency += self.controller.access_latency(self.hart_id)
+        line = self.line_bytes
+        dram_bytes = line
+        read_bytes = line
+        write_bytes = 0
+        self.dram_read_bytes += line
+        self.dram_accesses += 1
+        for cache in levels:
+            if cache.fill(address, is_store):
+                dram_bytes += line
+                write_bytes += line
+                self.dram_write_bytes += line
+        self.controller.account_bytes(self.hart_id, read_bytes, write_bytes)
+        return AccessResult(
+            hit_level="DRAM",
+            latency=latency,
+            l1_miss=True,
+            llc_miss=True,
+            dram_bytes=dram_bytes,
+            levels_missed=missed,
+        )
+
+    # -- statistics (CacheHierarchy-compatible) ---------------------------------
+
+    def level(self, name: str) -> Cache:
+        for cache in self.levels:
+            if cache.config.name == name:
+                return cache
+        raise KeyError(f"no cache level named {name!r}")
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for cache in self.private_levels:
+            out[cache.config.name] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "miss_rate": cache.miss_rate,
+                "writebacks": cache.writebacks,
+            }
+        for cache in self.shared_levels:
+            out[cache.config.name] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "miss_rate": cache.miss_rate,
+                "writebacks": cache.writebacks,
+                "shared": True,
+            }
+        out["DRAM"] = {
+            "read_bytes": self.dram_read_bytes,
+            "write_bytes": self.dram_write_bytes,
+            "accesses": self.dram_accesses,
+        }
+        return out
+
+    def reset_stats(self) -> None:
+        for cache in self.private_levels:
+            cache.reset_stats()
+        self.dram_read_bytes = 0
+        self.dram_write_bytes = 0
+        self.dram_accesses = 0
+
+
+class SharedMemorySystem:
+    """The whole-machine memory fabric: shared LLC + controller, per-hart views.
+
+    All cache levels of the platform descriptor except the last are private
+    per hart; the last level is shared.  (Every modelled platform has at
+    least two levels; a hypothetical single-level descriptor would share its
+    only level, which is the degenerate-but-correct reading.)
+    """
+
+    def __init__(self, cache_configs: List[CacheConfig], memory: MemoryConfig,
+                 window: int = 32, contention_per_hart: float = 0.5):
+        if not cache_configs:
+            raise ValueError("at least one cache level is required")
+        if len(cache_configs) > 1:
+            self.private_configs = list(cache_configs[:-1])
+            shared_configs = [cache_configs[-1]]
+        else:
+            self.private_configs = []
+            shared_configs = list(cache_configs)
+        self.shared_levels = [Cache(cfg) for cfg in shared_configs]
+        self.controller = MemoryController(
+            memory, window=window, contention_per_hart=contention_per_hart)
+        self.hierarchies: Dict[int, HartCacheHierarchy] = {}
+
+    @property
+    def llc(self) -> Cache:
+        return self.shared_levels[-1]
+
+    def hierarchy_for_hart(self, hart_id: int) -> HartCacheHierarchy:
+        hierarchy = self.hierarchies.get(hart_id)
+        if hierarchy is None:
+            hierarchy = HartCacheHierarchy(
+                hart_id, self.private_configs, self.shared_levels, self.controller)
+            self.hierarchies[hart_id] = hierarchy
+        return hierarchy
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "llc": {
+                "hits": self.llc.hits,
+                "misses": self.llc.misses,
+                "miss_rate": self.llc.miss_rate,
+                "writebacks": self.llc.writebacks,
+            },
+            "controller": self.controller.stats(),
+        }

@@ -1,0 +1,127 @@
+"""A deterministic round-robin scheduler for multi-hart machines.
+
+Software threads are generators: a thread body receives the hart machine and
+its task, performs a *quantum* of work (some machine ops) and ``yield``s
+control back to the scheduler.  The scheduler pins thread *i* to hart
+``i % cpus`` at spawn (cache state stays attributable to one hart, the way
+affinity-pinned benchmarks run), keeps one FIFO runqueue per hart, and
+advances the harts in a fixed global round-robin order: hart 0's current
+thread runs one quantum, then hart 1's, and so on.  There is no randomness
+anywhere, so the same thread list always produces the same interleaving --
+the property the per-hart sample-stream determinism test pins down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.kernel.task import Task
+from repro.platforms.machine import Machine
+from repro.smp.machine import MultiHartMachine
+
+#: A thread body: bound to a hart machine and a task, yields between quanta.
+ThreadBody = Callable[[Machine, Task], Iterator[None]]
+
+
+class Thread:
+    """One schedulable software thread."""
+
+    def __init__(self, name: str, body: ThreadBody):
+        self.name = name
+        self.body = body
+        self.task: Optional[Task] = None
+        self.hart_id: Optional[int] = None
+        self.quanta = 0
+        self.finished = False
+        self._generator: Optional[Iterator[None]] = None
+
+    def bind(self, machine: Machine, hart_id: int) -> None:
+        self.hart_id = hart_id
+        self.task = machine.create_task(self.name)
+        self._generator = self.body(machine, self.task)
+
+    def advance(self) -> bool:
+        """Run one quantum; return False when the thread has finished."""
+        assert self._generator is not None, "thread not bound to a hart"
+        try:
+            next(self._generator)
+        except StopIteration:
+            self.finished = True
+            return False
+        self.quanta += 1
+        return True
+
+    def __repr__(self) -> str:
+        return (f"Thread({self.name!r}, hart={self.hart_id}, "
+                f"quanta={self.quanta}, finished={self.finished})")
+
+
+@dataclass
+class ScheduleTrace:
+    """What the scheduler did, for determinism tests and diagnostics."""
+
+    cpus: int
+    #: (hart_id, thread_name) per executed quantum, in global execution order.
+    quanta: List[Tuple[int, str]] = field(default_factory=list)
+    threads_per_hart: Dict[int, List[str]] = field(default_factory=dict)
+
+    @property
+    def total_quanta(self) -> int:
+        return len(self.quanta)
+
+    def quanta_on(self, hart_id: int) -> List[str]:
+        return [name for hid, name in self.quanta if hid == hart_id]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cpus": self.cpus,
+            "total_quanta": self.total_quanta,
+            "threads_per_hart": {str(k): v
+                                 for k, v in sorted(self.threads_per_hart.items())},
+            "quanta_per_hart": {str(hart): len(self.quanta_on(hart))
+                                for hart in range(self.cpus)},
+        }
+
+
+class RoundRobinScheduler:
+    """Deterministic round-robin time-slicing of threads across harts."""
+
+    def __init__(self, machine: MultiHartMachine):
+        self.machine = machine
+
+    def run(self, threads: Sequence[Thread]) -> ScheduleTrace:
+        """Run *threads* to completion; returns the executed schedule."""
+        cpus = self.machine.cpus
+        trace = ScheduleTrace(cpus=cpus)
+        runqueues: List[Deque[Thread]] = [deque() for _ in range(cpus)]
+        for index, thread in enumerate(threads):
+            hart_id = index % cpus
+            thread.bind(self.machine.hart(hart_id), hart_id)
+            runqueues[hart_id].append(thread)
+            trace.threads_per_hart.setdefault(hart_id, []).append(thread.name)
+
+        while any(runqueues):
+            for hart_id, queue in enumerate(runqueues):
+                if not queue:
+                    continue
+                thread = queue[0]
+                hart = self.machine.hart(hart_id)
+                hart.current_task = thread.task
+                try:
+                    alive = thread.advance()
+                finally:
+                    hart.current_task = None
+                trace.quanta.append((hart_id, thread.name))
+                queue.popleft()
+                if alive:
+                    queue.append(thread)
+        return trace
+
+
+def run_threads(machine: MultiHartMachine,
+                bodies: Sequence[Tuple[str, ThreadBody]]) -> ScheduleTrace:
+    """Convenience: wrap (name, body) pairs in Threads and run them."""
+    threads = [Thread(name, body) for name, body in bodies]
+    return RoundRobinScheduler(machine).run(threads)

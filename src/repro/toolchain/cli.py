@@ -1,4 +1,4 @@
-"""Command-line interface: ``miniperf <subcommand>``.
+"""Command-line interface: ``repro <subcommand>`` (also ``python -m repro``).
 
 Every profiling subcommand is a thin shell over the unified session API
 (:mod:`repro.api`): it resolves ``--workload NAME`` through the registry,
@@ -7,22 +7,28 @@ it through a :class:`~repro.api.Session`, so every workload kind, platform
 and vendor-driver setting goes down exactly one code path.
 
 * ``capabilities``            -- print the Table-1 platform comparison;
+* ``platforms``               -- list the modelled platforms (name, arch,
+  board, harts, vector extension);
 * ``workloads``               -- list the registered workloads;
-* ``identify --platform X``   -- show what cpuid-based identification finds;
-* ``stat --platform X``       -- count events for a workload;
-* ``record --platform X``     -- sample it and print the hotspot table;
-* ``flamegraph --platform X`` -- same, rendered as a flame graph (text/SVG);
-* ``roofline --platform X``   -- the compiler-driven roofline for a kernel;
+* ``identify -p X``           -- show what cpuid-based identification finds;
+* ``stat -p X``               -- count events for a workload;
+* ``record -p X``             -- sample it and print the hotspot table;
+* ``flamegraph -p X``         -- same, rendered as a flame graph (text/SVG);
+* ``roofline -p X``           -- the compiler-driven roofline for a kernel;
 * ``compare --platforms ...`` -- one workload across platforms, side by side,
   with quantitative flame-graph diffs.
 
-``--json`` on stat/record/roofline/compare emits the machine-consumable
-export of the same run.
+``--cpus N`` on stat/record/flamegraph/compare profiles on an N-hart SMP
+machine (per-hart columns, cpu-tagged samples, hart-labelled flame graphs);
+``-a``/``--all-cpus`` uses every hart of the board, like ``perf stat -a``.
+``--json`` on stat/record/roofline/compare (and capabilities/platforms)
+emits the machine-consumable export of the same run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -31,29 +37,60 @@ from repro.flamegraph import render_text
 from repro.miniperf import Miniperf
 from repro.miniperf.groups import SamplingNotSupportedError
 from repro.kernel.perf_event import PerfEventOpenError
-from repro.platforms import Machine, platform_by_name
+from repro.platforms import Machine, all_platforms, platform_by_name
 from repro.pmu.vendors import all_capabilities
 from repro.roofline.plot import render_ascii_roofline, render_svg_roofline
 from repro.workloads import registry
 
 
-def _capabilities_table() -> str:
-    capabilities = all_capabilities()
-    riscv_cores = ["SiFive U74", "T-Head C910", "SpacemiT X60"]
-    rows = [capabilities[core].as_row() for core in riscv_cores]
-    keys = ["Core", "Out-of-Order", "RVV version",
-            "Overflow interrupt support", "Upstream Linux support"]
-    widths = {k: max(len(k), max(len(str(r[k])) for r in rows)) for k in keys}
+def _format_table(keys: List[str], rows: List[dict]) -> str:
+    widths = {k: max(len(k), max((len(str(r.get(k, ""))) for r in rows),
+                                 default=0)) for k in keys}
     lines = ["  ".join(k.ljust(widths[k]) for k in keys)]
     lines.append("  ".join("-" * widths[k] for k in keys))
     for row in rows:
-        lines.append("  ".join(str(row[k]).ljust(widths[k]) for k in keys))
+        lines.append("  ".join(str(row.get(k, "")).ljust(widths[k]) for k in keys))
     return "\n".join(lines)
 
 
-def cmd_capabilities(_args: argparse.Namespace) -> int:
+def _capability_rows() -> List[dict]:
+    """Table-1 rows, in descriptor order (no hand-maintained core list)."""
+    capabilities = all_capabilities()
+    return [capabilities[descriptor.name].as_row()
+            for descriptor in all_platforms() if descriptor.is_riscv]
+
+
+def _capabilities_table() -> str:
+    keys = ["Core", "Out-of-Order", "RVV version",
+            "Overflow interrupt support", "Upstream Linux support"]
+    return _format_table(keys, _capability_rows())
+
+
+def cmd_capabilities(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        print(json.dumps(_capability_rows(), indent=2))
+        return 0
     print("Comparison of available RISC-V hardware capabilities (Table 1):")
     print(_capabilities_table())
+    return 0
+
+
+def cmd_platforms(args: argparse.Namespace) -> int:
+    """List every modelled platform straight from its descriptor."""
+    rows = [
+        {
+            "name": descriptor.name,
+            "arch": descriptor.arch,
+            "board": descriptor.board,
+            "harts": descriptor.harts,
+            "vector": descriptor.vector.extension or "none",
+        }
+        for descriptor in all_platforms()
+    ]
+    if getattr(args, "json", False):
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(_format_table(["name", "arch", "board", "harts", "vector"], rows))
     return 0
 
 
@@ -74,6 +111,19 @@ def _session(args: argparse.Namespace) -> Session:
                    vendor_driver=not args.no_vendor_driver)
 
 
+def _cpus(args: argparse.Namespace, platform_name: Optional[str] = None) -> int:
+    """Resolve --cpus / -a into a hart count for one platform.
+
+    Non-positive --cpus values flow through so ProfileSpec rejects them with
+    the same clean error every other size parameter gets.
+    """
+    if getattr(args, "all_cpus", False):
+        descriptor = platform_by_name(platform_name or args.platform)
+        return max(1, descriptor.harts)
+    cpus = getattr(args, "cpus", None)
+    return 1 if cpus is None else cpus
+
+
 def _workload(args: argparse.Namespace):
     """Resolve --workload, forwarding only the parameters its factory takes."""
     params = {}
@@ -86,7 +136,8 @@ def _workload(args: argparse.Namespace):
 
 
 def cmd_stat(args: argparse.Namespace) -> int:
-    run = _session(args).run(_workload(args), ProfileSpec().counting())
+    run = _session(args).run(_workload(args), ProfileSpec().counting(),
+                             cpus=_cpus(args))
     if "stat" in run.errors:
         print(f"stat failed: {run.errors['stat']}", file=sys.stderr)
         return 1
@@ -100,7 +151,7 @@ def cmd_stat(args: argparse.Namespace) -> int:
 def cmd_record(args: argparse.Namespace) -> int:
     spec = ProfileSpec(sample_period=args.period,
                        analyses=("hotspots", "flamegraph"))
-    run = _session(args).run(_workload(args), spec)
+    run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "sampling" in run.errors:
         print(f"record failed: {run.errors['sampling']}", file=sys.stderr)
         return 1
@@ -115,7 +166,7 @@ def cmd_record(args: argparse.Namespace) -> int:
 
 def cmd_flamegraph(args: argparse.Namespace) -> int:
     spec = ProfileSpec(sample_period=args.period, analyses=("flamegraph",))
-    run = _session(args).run(_workload(args), spec)
+    run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "sampling" in run.errors:
         print(f"flamegraph failed: {run.errors['sampling']}", file=sys.stderr)
         return 1
@@ -163,7 +214,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             print(f"warning: --roofline ignored; workload {workload.name!r} "
                   "has no compiled kernel", file=sys.stderr)
     spec = ProfileSpec(sample_period=args.period, analyses=analyses,
-                       vendor_driver=not args.no_vendor_driver)
+                       vendor_driver=not args.no_vendor_driver,
+                       cpus=1 if args.cpus is None else args.cpus)
     comparison = Session.compare(
         [platform_by_name(name) for name in args.platforms], workload, spec)
     if args.json:
@@ -175,19 +227,27 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="miniperf",
+        prog="repro",
         description="PMU profiling and hardware-agnostic roofline analysis "
                     "on modelled RISC-V (and x86) platforms.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("capabilities", help="print the Table-1 comparison") \
-        .set_defaults(func=cmd_capabilities)
+    capabilities = subparsers.add_parser(
+        "capabilities", help="print the Table-1 comparison")
+    capabilities.add_argument("--json", action="store_true", help="emit JSON")
+    capabilities.set_defaults(func=cmd_capabilities)
+
+    platforms = subparsers.add_parser(
+        "platforms", help="list modelled platforms (name, arch, board, harts)")
+    platforms.add_argument("--json", action="store_true", help="emit JSON")
+    platforms.set_defaults(func=cmd_platforms)
+
     subparsers.add_parser("workloads", help="list registered workloads") \
         .set_defaults(func=cmd_workloads)
 
     def add_platform(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--platform", default="SpacemiT X60",
+        sub.add_argument("-p", "--platform", default="SpacemiT X60",
                          help="platform name (default: SpacemiT X60)")
         sub.add_argument("--no-vendor-driver", action="store_true",
                          help="model a stock kernel without vendor patches")
@@ -195,11 +255,17 @@ def build_parser() -> argparse.ArgumentParser:
     def add_workload(sub: argparse.ArgumentParser, default: str) -> None:
         sub.add_argument("--workload", default=default,
                          help=f"registered workload name (default: {default}; "
-                              "see 'miniperf workloads')")
+                              "see 'repro workloads')")
         sub.add_argument("--scale", type=int, default=None,
                          help="work multiplier for synthetic workloads")
         sub.add_argument("-n", type=int, default=None,
                          help="problem size for kernel workloads")
+
+    def add_cpus(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--cpus", type=int, default=None,
+                         help="profile on an N-hart SMP machine (default 1)")
+        sub.add_argument("-a", "--all-cpus", action="store_true",
+                         help="system-wide: use every hart of the board")
 
     identify = subparsers.add_parser("identify", help="cpuid-based identification")
     add_platform(identify)
@@ -208,12 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
     stat = subparsers.add_parser("stat", help="counting-mode profile")
     add_platform(stat)
     add_workload(stat, "sqlite3-like")
+    add_cpus(stat)
     stat.add_argument("--json", action="store_true", help="emit JSON")
     stat.set_defaults(func=cmd_stat)
 
     record = subparsers.add_parser("record", help="sampling profile + hotspots")
     add_platform(record)
     add_workload(record, "sqlite3-like")
+    add_cpus(record)
     record.add_argument("--period", type=int, default=20_000)
     record.add_argument("--json", action="store_true", help="emit JSON")
     record.set_defaults(func=cmd_record)
@@ -221,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     flame = subparsers.add_parser("flamegraph", help="render a flame graph")
     add_platform(flame)
     add_workload(flame, "sqlite3-like")
+    add_cpus(flame)
     flame.add_argument("--period", type=int, default=20_000)
     flame.add_argument("--metric", choices=["cycles", "instructions"],
                        default="cycles")
@@ -245,6 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--no-vendor-driver", action="store_true",
                          help="model stock kernels without vendor patches")
     add_workload(compare, "sqlite3-like")
+    compare.add_argument("--cpus", type=int, default=None,
+                         help="profile each platform on an N-hart SMP machine")
     compare.add_argument("--period", type=int, default=20_000)
     compare.add_argument("--roofline", action="store_true",
                          help="also run the roofline flow (kernel workloads)")
@@ -258,7 +329,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (KeyError, SamplingNotSupportedError, PerfEventOpenError) as error:
+    except (KeyError, ValueError, SamplingNotSupportedError,
+            PerfEventOpenError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -71,8 +71,9 @@ class WorkloadRegistry(Mapping[str, object]):
         return self.create(name)
 
     def __iter__(self) -> Iterator[str]:
+        """Iterate names in sorted order (stable CLI listings and errors)."""
         self._ensure_builtins()
-        return iter(self._factories)
+        return iter(sorted(self._factories))
 
     def __len__(self) -> int:
         self._ensure_builtins()
@@ -110,6 +111,20 @@ class WorkloadRegistry(Mapping[str, object]):
         return "\n".join(lines)
 
 
+def _require_positive(name: str, parameter: str, value: int) -> int:
+    """Validate a factory size parameter up front, with the valid range.
+
+    Catches bad ``--scale``/``-n`` values at workload construction instead
+    of deep inside trace generation or kernel compilation.
+    """
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ValueError(
+            f"workload {name!r}: parameter {parameter!r} must be a positive "
+            f"integer >= 1 (got {value!r})"
+        )
+    return value
+
+
 def micro_calltree_workload(scale: int = 1) -> SyntheticWorkload:
     """A three-function call tree, small enough for sub-second smoke runs."""
     workload = SyntheticWorkload(name="micro-calltree", entry="main")
@@ -128,10 +143,16 @@ def _register_builtins(reg: WorkloadRegistry) -> None:
     # the workload leaf modules, so a top-level import would be circular when
     # ``repro.api`` is imported first.
     from repro.api.workload import CompiledKernelWorkload, SyntheticTraceWorkload
+    from repro.workloads.parallel import (
+        ForkJoinCalltreeWorkload,
+        MatmulParallelWorkload,
+        StreamTriadMtWorkload,
+    )
 
     def add_synthetic(name: str, tree_factory: Callable[..., SyntheticWorkload],
                       description: str) -> None:
         def factory(scale: int = 1):
+            _require_positive(name, "scale", scale)
             return SyntheticTraceWorkload(tree=tree_factory(scale=scale),
                                           description=description)
         reg.register(name, factory, description)
@@ -139,11 +160,28 @@ def _register_builtins(reg: WorkloadRegistry) -> None:
     def add_kernel(name: str, source: str, function: str, args_builder_factory,
                    default_n: int, description: str) -> None:
         def factory(n: int = default_n):
+            _require_positive(name, "n", n)
             return CompiledKernelWorkload(
                 name=name, source=source, function=function,
                 args_builder=args_builder_factory(n),
                 filename=f"{function}.c", description=description,
             )
+        reg.register(name, factory, description)
+
+    def add_parallel(name: str, workload_factory, parameter: str,
+                     description: str) -> None:
+        def factory(**params):
+            value = params.get(parameter)
+            if value is not None:
+                _require_positive(name, parameter, value)
+                return workload_factory(**{parameter: value})
+            return workload_factory()
+        # Give the factory an inspectable signature for registry.params().
+        import inspect
+        factory.__signature__ = inspect.Signature([
+            inspect.Parameter(parameter, inspect.Parameter.KEYWORD_ONLY,
+                              default=None)
+        ])
         reg.register(name, factory, description)
 
     add_synthetic("sqlite3-like", sqlite3_like_workload,
@@ -163,6 +201,12 @@ def _register_builtins(reg: WorkloadRegistry) -> None:
                4096, "3-point stencil")
     add_kernel("memset", MEMSET_SOURCE, "fill", memset_args_builder,
                8192, "store-only fill loop")
+    add_parallel("matmul-parallel", MatmulParallelWorkload, "n",
+                 "row-sharded parallel matmul (strong scaling, --cpus N)")
+    add_parallel("stream-triad-mt", StreamTriadMtWorkload, "n",
+                 "multi-threaded STREAM triad (weak scaling, LLC contention)")
+    add_parallel("forkjoin-calltree", ForkJoinCalltreeWorkload, "scale",
+                 "fork-join call-tree replay, 2 worker threads per hart")
 
 
 #: The process-wide default registry the session API and CLI consult.

@@ -95,13 +95,18 @@ class TraceExecutor:
     """Executes a synthetic workload on a machine model."""
 
     def __init__(self, machine: Machine, task: Task, seed: int = 42,
-                 instruction_factor: Optional[float] = None):
+                 instruction_factor: Optional[float] = None,
+                 address_offset: int = 0):
         self.machine = machine
         self.task = task
         self.random = random.Random(seed)
         self.instruction_factor = instruction_factor
         self._base_addresses: Dict[str, int] = {}
-        self._next_base = 0x2000_0000
+        # Parallel workloads give every software thread its own offset so
+        # per-thread working sets occupy disjoint address ranges (threads of
+        # one process share an address space but not their heaps); a zero
+        # offset keeps single-thread traces byte-identical to before.
+        self._next_base = 0x2000_0000 + address_offset
         self._sequential_cursor: Dict[str, int] = {}
         self._pc_counter = 0x0100_0000
 

@@ -67,7 +67,8 @@ class TestRegistry:
         for name in registry:
             workload = registry[name]
             assert isinstance(workload, Workload)
-            assert workload.kind in ("synthetic", "kernel")
+            assert workload.kind in ("synthetic", "kernel",
+                                     "parallel-synthetic", "parallel-kernel")
 
     def test_create_forwards_parameters(self):
         small = registry.create("matmul-tiled", n=8)

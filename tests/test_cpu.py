@@ -144,6 +144,49 @@ class TestBranchPredictors:
         assert 0.0 <= predictor.miss_rate <= 1.0
         assert predictor.predictions == len(outcomes)
 
+    def test_gshare_aliasing_causes_destructive_interference(self):
+        """Two branches whose (pc >> 2) XOR history collide in a tiny table
+        share one 2-bit counter, so opposite-biased branches fight.
+
+        With zero history, pcs 4 table-entries apart alias; a dedicated
+        per-branch table would learn both patterns perfectly.
+        """
+        table_entries = 1 << 2
+        predictor = GsharePredictor(table_bits=2, history_bits=0)
+        pc_a = 0x100                      # index (0x100 >> 2) % 4 == 0
+        pc_b = pc_a + 4 * table_entries   # same index, different branch
+        assert predictor._index(pc_a) == predictor._index(pc_b)
+        for _ in range(100):
+            predictor.update(pc_a, 0, True)
+            predictor.update(pc_b, 0, False)
+        # The shared counter flips on every update: ~every prediction for
+        # one of the two branches is wrong, far above a per-branch learner.
+        assert predictor.miss_rate > 0.4
+
+        isolated = GsharePredictor(table_bits=12, history_bits=0)
+        for _ in range(100):
+            isolated.update(pc_a, 0, True)
+            isolated.update(pc_b + 0x10000, 0, False)
+        assert isolated.miss_rate < 0.1
+
+    def test_gshare_history_wraps_at_history_bits(self):
+        predictor = GsharePredictor(table_bits=4, history_bits=3)
+        for taken in (True, True, True, True, True):
+            predictor.update(0x40, 0, taken)
+        # Only history_bits of history survive: 0b111, not 0b11111.
+        assert predictor._history == 0b111
+        predictor.update(0x40, 0, False)
+        assert predictor._history == 0b110
+        # Indexing stays inside the table for any pc.
+        for pc in (0, 0x4, 0xFFFF_FFFC, 1 << 40):
+            assert 0 <= predictor._index(pc) < (1 << 4)
+
+    def test_gshare_rejects_bad_table_bits(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bits=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bits=25)
+
 
 def make_core(out_of_order: bool):
     bus = EventBus()

@@ -1,0 +1,99 @@
+"""Edge-case tests for differential flame graphs (flamegraph/diff.py) and
+the SMP flame-graph merge -- previously only exercised indirectly through
+Session.compare."""
+
+import math
+
+from repro.flamegraph import (
+    FlameNode,
+    build_flame_graph,
+    diff_flame_graphs,
+    merge_flame_graphs,
+)
+from repro.flamegraph.diff import FrameDiff
+from repro.kernel.ring_buffer import SampleRecord
+
+
+def sample(chain, time=0, cpu=0):
+    return SampleRecord(ip=0x100, pid=1, tid=1, time=time, period=1,
+                        event="cycles", callchain=tuple(chain), cpu=cpu)
+
+
+def graph(*chains):
+    return build_flame_graph([sample(chain, time=i)
+                              for i, chain in enumerate(chains)])
+
+
+class TestDiffEdgeCases:
+    def test_two_empty_trees(self):
+        assert diff_flame_graphs(FlameNode("all"), FlameNode("all")) == []
+
+    def test_one_side_empty(self):
+        populated = graph(("leaf", "main"), ("main",))
+        diffs = diff_flame_graphs(FlameNode("all"), populated)
+        by_name = {d.function: d for d in diffs}
+        assert by_name["leaf"].fraction_a == 0.0
+        assert by_name["leaf"].fraction_b == 0.5
+        assert math.isinf(by_name["leaf"].ratio)
+        # Empty B: every A function collapses to zero, ratio 0.
+        diffs = diff_flame_graphs(populated, FlameNode("all"))
+        assert all(d.fraction_b == 0.0 for d in diffs)
+        assert all(d.ratio == 0.0 for d in diffs)
+
+    def test_disjoint_roots(self):
+        a = graph(("alpha_leaf", "alpha_main"))
+        b = graph(("beta_leaf", "beta_main"))
+        diffs = diff_flame_graphs(a, b)
+        names = {d.function for d in diffs}
+        assert names == {"alpha_leaf", "alpha_main", "beta_leaf", "beta_main"}
+        for diff in diffs:
+            # Every function exists on exactly one side.
+            assert (diff.fraction_a == 0.0) != (diff.fraction_b == 0.0) or \
+                (diff.fraction_a == 0.0 and diff.fraction_b == 0.0)
+
+    def test_zero_sample_frames_are_neutral(self):
+        # A frame that only ever appears as an interior node (self_value 0)
+        # contributes no self-time share on either side.
+        a = graph(("leaf", "wrapper", "main"))
+        b = graph(("leaf", "wrapper", "main"))
+        diffs = diff_flame_graphs(a, b)
+        wrapper = next(d for d in diffs if d.function == "wrapper")
+        assert wrapper.fraction_a == wrapper.fraction_b == 0.0
+        assert wrapper.ratio == 1.0 and wrapper.delta == 0.0
+
+    def test_zero_over_zero_ratio_is_one(self):
+        diff = FrameDiff(function="f", fraction_a=0.0, fraction_b=0.0)
+        assert diff.ratio == 1.0
+
+    def test_minimum_fraction_filters_noise(self):
+        a = graph(*([("hot", "main")] * 99 + [("cold", "main")]))
+        b = graph(*([("hot", "main")] * 99 + [("cold", "main")]))
+        kept = diff_flame_graphs(a, b, minimum_fraction=0.05)
+        assert {d.function for d in kept} == {"hot"}
+
+    def test_diffs_sorted_by_absolute_delta(self):
+        a = graph(("x",), ("x",), ("y",), ("z",))
+        b = graph(("x",), ("y",), ("y",), ("y",))
+        diffs = diff_flame_graphs(a, b)
+        deltas = [abs(d.delta) for d in diffs]
+        assert deltas == sorted(deltas, reverse=True)
+
+
+class TestMergeFlameGraphs:
+    def test_merge_labels_and_preserves_weights(self):
+        per_cpu = {
+            "cpu0": graph(("leaf", "main"), ("main",)),
+            "cpu1": graph(("leaf", "main")),
+        }
+        merged = merge_flame_graphs(per_cpu)
+        assert merged.value == 3
+        assert [c.name for c in merged.sorted_children()] == ["cpu0", "cpu1"]
+        cpu0 = merged.children["cpu0"]
+        assert cpu0.value == 2
+        assert cpu0.children["main"].children["leaf"].self_value == 1
+
+    def test_merge_skips_empty_harts(self):
+        merged = merge_flame_graphs({"cpu0": graph(("f",)),
+                                     "cpu1": FlameNode("all")})
+        assert list(merged.children) == ["cpu0"]
+        assert merged.value == 1
