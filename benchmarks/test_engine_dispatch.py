@@ -7,6 +7,7 @@ state.  (The exhaustive bit-level equivalence checks -- sampled runs, sample
 streams, multiplexing -- live in ``tests/test_engine_fast_dispatch.py``.)
 """
 
+import os
 import time
 
 from repro.compiler.frontend import compile_source
@@ -18,6 +19,12 @@ from repro.vm import ExecutionEngine, Memory
 from repro.workloads import MATMUL_TILED_SOURCE, matmul_args_builder
 
 MATMUL_N = 16
+
+#: Required fast-vs-reference speedup.  The local default (1.2x) keeps the
+#: assertion robust on a loaded host; CI's dispatch-regression lane raises it
+#: (REPRO_MIN_DISPATCH_SPEEDUP=1.5) so a fast path that quietly degrades
+#: below 1.5x fails the build.
+MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_DISPATCH_SPEEDUP", "1.2"))
 
 
 def _run(fast_dispatch: bool):
@@ -55,9 +62,11 @@ def test_fast_dispatch_beats_reference_interpreter():
     assert fast_machine.instructions == slow_machine.instructions
     assert fast_machine.event_totals() == slow_machine.event_totals()
 
-    # The margin is normally >4x; 1.2x keeps the assertion robust on a
-    # loaded CI host while still catching a fast path that stopped being fast.
-    assert speedup > 1.2
+    # The margin is normally >4x; see MIN_SPEEDUP for how the floor is set.
+    assert speedup > MIN_SPEEDUP, (
+        f"fast dispatch only {speedup:.2f}x faster than the reference "
+        f"interpreter (required: {MIN_SPEEDUP}x)"
+    )
 
 
 def test_dispatch_rate_fast(benchmark):

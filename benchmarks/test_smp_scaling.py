@@ -18,7 +18,10 @@ Two assertions pin down the SMP model's behaviour:
   instruction than the lone hart does.
 """
 
-from repro.api import ProfileSpec
+import os
+import time
+
+from repro.api import ProfileSpec, Session
 from repro.cpu.events import HwEvent
 from repro.platforms import spacemit_x60
 from repro.smp import MultiHartMachine, smp_stat
@@ -78,6 +81,40 @@ def test_four_harts_scale_throughput_with_visible_llc_contention():
 
     # And the memory controller actually saw interleaved demand.
     assert machine_4.memory_system.controller.contended_accesses > 0
+
+
+def test_fast_dispatch_smp_run_is_at_least_twice_as_fast():
+    """The tentpole number: a 4-hart ``matmul-parallel`` counting-mode
+    Session run through the fast-dispatch engine vs. the reference
+    interpreter.  Same modelled machine state either way (the differential
+    suite proves bit-identity sample by sample); only wall-clock time may
+    differ, and it must differ by >= 2x (normally ~3.5-4x).
+    """
+    minimum = float(os.environ.get("REPRO_MIN_SMP_DISPATCH_SPEEDUP", "2.0"))
+    workload = registry.create("matmul-parallel", n=32)
+    spec = ProfileSpec(cpus=4).counting()
+
+    def run(fast_dispatch: bool):
+        session = Session(spacemit_x60())
+        start = time.perf_counter()
+        run_ = session.run(workload, spec.replace(fast_dispatch=fast_dispatch))
+        elapsed = time.perf_counter() - start
+        payload = run_.to_dict()
+        payload.pop("spec")          # names the engine; everything else equal
+        return payload, elapsed
+
+    fast_payload, fast_elapsed = run(True)
+    slow_payload, slow_elapsed = run(False)
+    speedup = slow_elapsed / fast_elapsed
+    print(f"\nmatmul-parallel n=32, 4 harts, counting mode: "
+          f"interpreter {slow_elapsed:.2f}s -> fast dispatch "
+          f"{fast_elapsed:.2f}s ({speedup:.2f}x)")
+
+    assert fast_payload == slow_payload
+    assert speedup > minimum, (
+        f"fast-dispatch SMP run only {speedup:.2f}x faster than the "
+        f"interpreter (required: {minimum}x)"
+    )
 
 
 def test_strong_scaling_matmul_parallel_cuts_wall_time():

@@ -1,6 +1,20 @@
-"""Pytest bootstrap: make the src/ layout importable without installation."""
+"""Pytest bootstrap: make the src/ layout importable without installation.
+
+Also registers the ``--update-goldens`` flag: golden-file regression tests
+(``tests/test_cli_goldens.py``) compare CLI output against checked-in files
+under ``tests/goldens/`` and, with the flag, rewrite them instead -- the
+one-step way to bless an intentional output change.
+"""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/* with the current CLI output "
+             "instead of comparing against it",
+    )

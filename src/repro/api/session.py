@@ -111,13 +111,20 @@ class Session:
 
     def run(self, workload: Union[str, Workload],
             spec: Optional[ProfileSpec] = None,
-            cpus: Optional[int] = None) -> Run:
+            cpus: Optional[int] = None,
+            fast_dispatch: Optional[bool] = None) -> Run:
         """Profile *workload* according to *spec* and return a uniform Run.
 
         ``cpus`` (or ``spec.cpus``) selects the machine: 1 keeps the
         single-hart fast path exactly as before; more harts route through the
         SMP subsystem (:mod:`repro.smp`) for system-wide counting, per-hart
         sample streams and merged, hart-labelled flame graphs.
+
+        ``fast_dispatch`` (or ``spec.fast_dispatch``, default on) selects the
+        execution engine compiled-kernel workloads run on -- the predecoded
+        batch-retiring engine or the reference interpreter.  Both the
+        single-hart and the SMP path honour it; results are bit-identical
+        either way, only wall-clock time differs.
 
         Analyses that the platform cannot deliver (e.g. sampling on a part
         whose counters cannot raise overflow interrupts, or a roofline for a
@@ -128,6 +135,8 @@ class Session:
         spec = spec or ProfileSpec()
         if cpus is not None and cpus != spec.cpus:
             spec = spec.replace(cpus=cpus)
+        if fast_dispatch is not None and fast_dispatch != spec.fast_dispatch:
+            spec = spec.replace(fast_dispatch=fast_dispatch)
         workload = _resolve_workload(workload)
         if spec.cpus > 1:
             return self._run_smp(workload, spec)

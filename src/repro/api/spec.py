@@ -51,6 +51,13 @@ class ProfileSpec:
         fast path, byte-identical to previous releases; ``cpus > 1`` builds a
         :class:`repro.smp.MultiHartMachine` and runs system-wide, with
         per-hart counts and cpu-tagged sample streams.
+    fast_dispatch:
+        Whether compiled-kernel workloads execute on the predecoded,
+        batch-retiring engine (the default) or on the reference
+        instruction-at-a-time interpreter.  Counters, multiplex times,
+        sample streams and SMP schedules are bit-identical either way (the
+        differential suite pins this down); the reference path exists for
+        exactly those equivalence runs.
     analyses:
         Which of :data:`ANALYSES` to derive.  ``stat`` counts (no samples);
         ``hotspots`` and ``flamegraph`` need one sampling recording (shared);
@@ -66,6 +73,7 @@ class ProfileSpec:
     invocations: int = 1
     repeats: int = 1
     cpus: int = 1
+    fast_dispatch: bool = True
     analyses: Tuple[str, ...] = ("hotspots", "flamegraph")
 
     def __post_init__(self) -> None:
@@ -96,6 +104,13 @@ class ProfileSpec:
     def with_cpus(self, cpus: int) -> "ProfileSpec":
         """Profile on *cpus* harts (1 = the single-hart fast path)."""
         return self.replace(cpus=cpus)
+
+    def with_fast_dispatch(self, enabled: bool = True) -> "ProfileSpec":
+        return self.replace(fast_dispatch=enabled)
+
+    def without_fast_dispatch(self) -> "ProfileSpec":
+        """Run compiled kernels on the reference interpreter (differential runs)."""
+        return self.replace(fast_dispatch=False)
 
     def with_analyses(self, *analyses: str) -> "ProfileSpec":
         return self.replace(analyses=tuple(analyses))
@@ -143,5 +158,6 @@ class ProfileSpec:
             "invocations": self.invocations,
             "repeats": self.repeats,
             "cpus": self.cpus,
+            "fast_dispatch": self.fast_dispatch,
             "analyses": list(self.analyses),
         }

@@ -17,9 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, runtime_checkable
 
-from repro.compiler.frontend import compile_source
+from repro.compiler.cache import compile_source_cached
 from repro.compiler.targets import target_for_platform
-from repro.compiler.transforms import default_optimization_pipeline
 from repro.kernel.task import Task
 from repro.platforms.descriptors import PlatformDescriptor
 from repro.platforms.machine import Machine
@@ -133,13 +132,13 @@ class CompiledKernelWorkload:
 
     def executable(self, machine: Machine, task: Task,
                    spec: ProfileSpec) -> Callable[[], None]:
-        module = compile_source(self.source, self.filename)
+        # Compiled modules are memoized per (source, lowering configuration)
+        # and the platform target lowering is shared process-wide, so
+        # repeated runs -- and every hart of an SMP machine -- reuse one
+        # module and one warm lowering cache.
         descriptor = machine.descriptor
-        pipeline = default_optimization_pipeline(
-            vector_width=descriptor.vector.sp_lanes(),
-            enable_vectorizer=spec.enable_vectorizer,
-        )
-        pipeline.run(module)
+        module = compile_source_cached(self.source, self.filename, descriptor,
+                                       spec.enable_vectorizer)
         target = target_for_platform(descriptor)
 
         def run() -> None:
@@ -147,7 +146,8 @@ class CompiledKernelWorkload:
                 memory = Memory()
                 args = list(self.args_builder(memory))
                 engine = ExecutionEngine(module, machine, target, task=task,
-                                         memory=memory)
+                                         memory=memory,
+                                         fast_dispatch=spec.fast_dispatch)
                 engine.run(self.function, args)
 
         return run

@@ -1,0 +1,42 @@
+"""Process-wide memoized compilation for execution-engine consumers.
+
+Every thread of a sharded SMP workload -- and every repeated session run --
+compiles the identical KernelC source for the identical lowering
+configuration, so one compile per ``(source, lowering configuration)``
+serves them all.  The cached module is immutable after the optimization
+pipeline runs, and execution engines keep all per-run decode state on the
+engine (value environments, predecoded thunks, pc maps), so sharing one
+module instance across harts is safe -- and keeps pc assignment (a
+deterministic walk of the module) identical on every hart, which the
+fast-dispatch differential suites rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.compiler.frontend import compile_source
+from repro.compiler.ir.module import Module
+from repro.compiler.transforms import default_optimization_pipeline
+from repro.platforms.descriptors import PlatformDescriptor
+
+_MODULE_CACHE: Dict[Tuple[str, str, str, int, bool], Module] = {}
+
+
+def compile_source_cached(source: str, filename: str,
+                          descriptor: PlatformDescriptor,
+                          enable_vectorizer: bool) -> Module:
+    """Compile *source* through the default pipeline, memoized per platform
+    lowering configuration (march, vector lanes, vectorizer toggle)."""
+    key = (source, filename, descriptor.march, descriptor.vector.sp_lanes(),
+           enable_vectorizer)
+    module = _MODULE_CACHE.get(key)
+    if module is None:
+        module = compile_source(source, filename)
+        pipeline = default_optimization_pipeline(
+            vector_width=descriptor.vector.sp_lanes(),
+            enable_vectorizer=enable_vectorizer,
+        )
+        pipeline.run(module)
+        _MODULE_CACHE[key] = module
+    return module

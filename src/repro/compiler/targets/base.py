@@ -104,7 +104,12 @@ class TargetLowering:
         if isinstance(inst, Alloca):
             return [MachineOp(OpClass.INT_ALU, pc=pc)]
         if isinstance(inst, Branch):
-            return [MachineOp(OpClass.BRANCH, taken=taken, target=id(inst) & 0xFFFF, pc=pc)]
+            # The predictor-indexing target is derived from the branch's pc,
+            # never from id(): object addresses differ between processes and
+            # would make predictor aliasing (and therefore every cycle count)
+            # irreproducible across runs of the same program.
+            return [MachineOp(OpClass.BRANCH, taken=taken,
+                              target=(pc >> 2) & 0xFFFF, pc=pc)]
         if isinstance(inst, Jump):
             return [MachineOp(OpClass.JUMP, taken=True, pc=pc)]
         if isinstance(inst, Ret):

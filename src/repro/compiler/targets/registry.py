@@ -30,12 +30,27 @@ def target_by_name(name: str) -> TargetLowering:
     raise KeyError(f"unknown target {name!r}; known: {', '.join(sorted(_BY_NAME))}")
 
 
+#: Shared target-lowering instances, one per distinct lowering
+#: configuration.  Lowerings are pure functions of the instruction (plus
+#: taken/vector-width), so sharing an instance is safe -- and it shares the
+#: ``lower_cached`` memo across every engine, thread and hart that lowers
+#: for the same platform, which is what keeps the fast-dispatch SMP path
+#: from re-lowering the same kernel once per hart.
+_PLATFORM_TARGETS: dict = {}
+
+
 def target_for_platform(descriptor: PlatformDescriptor) -> TargetLowering:
-    """The lowering the paper's build flags imply for each platform."""
-    if descriptor.arch == "x86_64":
-        if descriptor.vector.supported:
-            return X86AVX2Target()
-        return X86ScalarTarget()
-    if descriptor.vector.supported:
-        return RV64GCVTarget(vlen_bits=descriptor.vector.vlen_bits)
-    return RV64GCTarget()
+    """The (shared, memoized) lowering the paper's build flags imply."""
+    key = (descriptor.arch, descriptor.vector.supported,
+           descriptor.vector.vlen_bits)
+    target = _PLATFORM_TARGETS.get(key)
+    if target is None:
+        if descriptor.arch == "x86_64":
+            target = (X86AVX2Target() if descriptor.vector.supported
+                      else X86ScalarTarget())
+        elif descriptor.vector.supported:
+            target = RV64GCVTarget(vlen_bits=descriptor.vector.vlen_bits)
+        else:
+            target = RV64GCTarget()
+        _PLATFORM_TARGETS[key] = target
+    return target

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import html
+import zlib
 from typing import List
 
 from repro.flamegraph.model import FlameNode
@@ -15,7 +16,9 @@ _PALETTE = [
 
 
 def _color_for(name: str) -> str:
-    return _PALETTE[hash(name) % len(_PALETTE)]
+    # Stable across processes (hash() of a str is PYTHONHASHSEED-randomised):
+    # the same frame always gets the same colour in regenerated SVGs.
+    return _PALETTE[zlib.crc32(name.encode("utf-8")) % len(_PALETTE)]
 
 
 def _emit(node: FlameNode, x: float, width: float, total_depth: int,

@@ -89,6 +89,13 @@ class Machine:
             current_task=lambda: self.current_task,
         )
         self._tasks: Dict[int, Task] = {}
+        #: Predicate consulted by :meth:`execute_batch` to decide whether
+        #: batched retirement must fall back to per-op retirement.  A
+        #: standalone machine only watches its own PMU; a multi-hart machine
+        #: replaces it with a system-wide probe so *any* hart arming a
+        #: sampling counter forces every hart onto the per-op path (the
+        #: conservative reading of "no interrupt may be deferred").
+        self._sampling_probe = self.pmu.sampling_active
 
     # -- identity & capability ----------------------------------------------------
 
@@ -136,8 +143,11 @@ class Machine:
                       task: Optional[Task] = None) -> None:
         """Retire a chunk of machine ops (the engine's batched accounting).
 
-        While any running counter has sampling armed, every op is a potential
-        overflow boundary: ops retire one at a time with the task pc updated
+        While the sampling probe reports an armed sampling counter (on this
+        hart's PMU -- or on *any* hart, when a
+        :class:`~repro.smp.machine.MultiHartMachine` installed its
+        system-wide probe), every op is a potential overflow boundary: ops
+        retire one at a time with the task pc updated
         first, exactly like :meth:`execute`, so interrupts observe the
         precise pc/cycle/callchain state.  Otherwise event publication is
         coalesced per chunk through
@@ -147,7 +157,7 @@ class Machine:
         """
         if not ops:
             return
-        if self.pmu.sampling_active():
+        if self._sampling_probe():
             retire = self.core.retire
             if task is not None:
                 set_pc = task.set_pc
@@ -166,6 +176,10 @@ class Machine:
                     task.set_pc(op.pc)
                     break
         self.core.retire_batch(ops)
+
+    def set_sampling_probe(self, probe) -> None:
+        """Install a system-wide sampling predicate (see ``_sampling_probe``)."""
+        self._sampling_probe = probe
 
     def set_privilege_mode(self, mode: PrivilegeMode) -> None:
         self.core.set_privilege_mode(mode)

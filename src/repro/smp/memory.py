@@ -46,6 +46,7 @@ class MemoryController:
         if contention_per_hart < 0:
             raise ValueError("contention_per_hart must be non-negative")
         self.config = config
+        self.window = window
         self.contention_per_hart = contention_per_hart
         self._recent: Deque[int] = deque(maxlen=window)
         self.accesses = 0

@@ -127,7 +127,18 @@ class SmpStatResult:
 def smp_stat(machine: MultiHartMachine,
              bodies: Sequence[Tuple[str, ThreadBody]],
              events: Sequence[HwEvent] = DEFAULT_STAT_EVENTS) -> SmpStatResult:
-    """Count *events* on every hart while the scheduler runs *bodies*."""
+    """Count *events* on every hart while the scheduler runs *bodies*.
+
+    Counting mode is where the fast-dispatch engines batch: no sampling
+    counter is armed on any hart, so each quantum's machine ops retire
+    through :meth:`~repro.platforms.machine.Machine.execute_batch` with one
+    aggregated event-bus pulse per event per chunk.  The per-hart counters
+    this function reads (and therefore the cross-hart aggregates) are
+    bit-identical to per-op retirement -- only the publication fan-out is
+    coalesced.
+    """
+    if not bodies:
+        raise ValueError("smp_stat needs at least one thread body")
     opened, unsupported = machine.open_counting_events(list(events), cpu=-1)
     result = SmpStatResult(platform=machine.name, cpus=machine.cpus,
                            per_hart=[StatResult(platform=machine.name)
@@ -271,7 +282,15 @@ def smp_record(machine: MultiHartMachine,
     handler attributes samples to the thread currently scheduled there.
     Raises :class:`~repro.miniperf.groups.SamplingNotSupportedError` on parts
     that cannot sample at all (the U74), like the single-hart path.
+
+    While the leaders are enabled, :meth:`MultiHartMachine.sampling_active`
+    is true and every hart's batched retirement falls back to per-op
+    retirement, so overflow interrupts fire at the exact triggering op and
+    the merged sample stream is bit-identical whichever dispatch engine the
+    thread bodies run.
     """
+    if not bodies:
+        raise ValueError("smp_record needs at least one thread body")
     cpu = identify_machine(machine.hart(0))
     plan = plan_sampling_group(cpu, list(events), sample_period)
 

@@ -26,13 +26,20 @@ ThreadBody = Callable[[Machine, Task], Iterator[None]]
 
 
 class Thread:
-    """One schedulable software thread."""
+    """One schedulable software thread.
 
-    def __init__(self, name: str, body: ThreadBody):
+    ``hart_id`` pins the thread to a specific hart (like ``taskset``);
+    leaving it ``None`` lets the scheduler apply its default ``i % cpus``
+    placement.  A pin outside the machine's hart range is rejected by
+    :meth:`RoundRobinScheduler.run` with a :class:`ValueError`.
+    """
+
+    def __init__(self, name: str, body: ThreadBody,
+                 hart_id: Optional[int] = None):
         self.name = name
         self.body = body
         self.task: Optional[Task] = None
-        self.hart_id: Optional[int] = None
+        self.hart_id: Optional[int] = hart_id
         self.quanta = 0
         self.finished = False
         self._generator: Optional[Iterator[None]] = None
@@ -92,12 +99,30 @@ class RoundRobinScheduler:
         self.machine = machine
 
     def run(self, threads: Sequence[Thread]) -> ScheduleTrace:
-        """Run *threads* to completion; returns the executed schedule."""
+        """Run *threads* to completion; returns the executed schedule.
+
+        Raises :class:`ValueError` when given no threads at all, or when a
+        thread is pinned (via ``Thread(..., hart_id=N)``) to a hart the
+        machine does not have -- both would otherwise surface as confusing
+        downstream failures.
+        """
         cpus = self.machine.cpus
+        if not threads:
+            raise ValueError(
+                "RoundRobinScheduler.run needs at least one thread "
+                "(got an empty thread list)"
+            )
+        for thread in threads:
+            if thread.hart_id is not None and not 0 <= thread.hart_id < cpus:
+                raise ValueError(
+                    f"thread {thread.name!r} is pinned to hart "
+                    f"{thread.hart_id}, but the machine has harts 0.."
+                    f"{cpus - 1}"
+                )
         trace = ScheduleTrace(cpus=cpus)
         runqueues: List[Deque[Thread]] = [deque() for _ in range(cpus)]
         for index, thread in enumerate(threads):
-            hart_id = index % cpus
+            hart_id = thread.hart_id if thread.hart_id is not None else index % cpus
             thread.bind(self.machine.hart(hart_id), hart_id)
             runqueues[hart_id].append(thread)
             trace.threads_per_hart.setdefault(hart_id, []).append(thread.name)

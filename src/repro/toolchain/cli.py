@@ -23,6 +23,11 @@ machine (per-hart columns, cpu-tagged samples, hart-labelled flame graphs);
 ``-a``/``--all-cpus`` uses every hart of the board, like ``perf stat -a``.
 ``--json`` on stat/record/roofline/compare (and capabilities/platforms)
 emits the machine-consumable export of the same run.
+``--no-fast-dispatch`` on stat/record/flamegraph/compare runs compiled
+kernels on the reference interpreter instead of the predecoded
+batch-retiring engine -- bit-identical output, only slower (it exists for
+differential runs; the roofline flow manages its own engines and does not
+take the flag).
 """
 
 from __future__ import annotations
@@ -135,9 +140,13 @@ def _workload(args: argparse.Namespace):
     return registry.create(args.workload, **params)
 
 
+def _fast_dispatch(args: argparse.Namespace) -> bool:
+    return not getattr(args, "no_fast_dispatch", False)
+
+
 def cmd_stat(args: argparse.Namespace) -> int:
-    run = _session(args).run(_workload(args), ProfileSpec().counting(),
-                             cpus=_cpus(args))
+    spec = ProfileSpec(fast_dispatch=_fast_dispatch(args)).counting()
+    run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "stat" in run.errors:
         print(f"stat failed: {run.errors['stat']}", file=sys.stderr)
         return 1
@@ -150,7 +159,8 @@ def cmd_stat(args: argparse.Namespace) -> int:
 
 def cmd_record(args: argparse.Namespace) -> int:
     spec = ProfileSpec(sample_period=args.period,
-                       analyses=("hotspots", "flamegraph"))
+                       analyses=("hotspots", "flamegraph"),
+                       fast_dispatch=_fast_dispatch(args))
     run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "sampling" in run.errors:
         print(f"record failed: {run.errors['sampling']}", file=sys.stderr)
@@ -165,7 +175,8 @@ def cmd_record(args: argparse.Namespace) -> int:
 
 
 def cmd_flamegraph(args: argparse.Namespace) -> int:
-    spec = ProfileSpec(sample_period=args.period, analyses=("flamegraph",))
+    spec = ProfileSpec(sample_period=args.period, analyses=("flamegraph",),
+                       fast_dispatch=_fast_dispatch(args))
     run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "sampling" in run.errors:
         print(f"flamegraph failed: {run.errors['sampling']}", file=sys.stderr)
@@ -215,7 +226,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                   "has no compiled kernel", file=sys.stderr)
     spec = ProfileSpec(sample_period=args.period, analyses=analyses,
                        vendor_driver=not args.no_vendor_driver,
-                       cpus=1 if args.cpus is None else args.cpus)
+                       cpus=1 if args.cpus is None else args.cpus,
+                       fast_dispatch=_fast_dispatch(args))
     comparison = Session.compare(
         [platform_by_name(name) for name in args.platforms], workload, spec)
     if args.json:
@@ -267,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("-a", "--all-cpus", action="store_true",
                          help="system-wide: use every hart of the board")
 
+    def add_dispatch(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--no-fast-dispatch", action="store_true",
+                         help="run compiled kernels on the reference "
+                              "interpreter instead of the predecoded "
+                              "batch-retiring engine (bit-identical results, "
+                              "slower; for differential runs)")
+
     identify = subparsers.add_parser("identify", help="cpuid-based identification")
     add_platform(identify)
     identify.set_defaults(func=cmd_identify)
@@ -275,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_platform(stat)
     add_workload(stat, "sqlite3-like")
     add_cpus(stat)
+    add_dispatch(stat)
     stat.add_argument("--json", action="store_true", help="emit JSON")
     stat.set_defaults(func=cmd_stat)
 
@@ -282,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_platform(record)
     add_workload(record, "sqlite3-like")
     add_cpus(record)
+    add_dispatch(record)
     record.add_argument("--period", type=int, default=20_000)
     record.add_argument("--json", action="store_true", help="emit JSON")
     record.set_defaults(func=cmd_record)
@@ -290,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_platform(flame)
     add_workload(flame, "sqlite3-like")
     add_cpus(flame)
+    add_dispatch(flame)
     flame.add_argument("--period", type=int, default=20_000)
     flame.add_argument("--metric", choices=["cycles", "instructions"],
                        default="cycles")
@@ -316,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload(compare, "sqlite3-like")
     compare.add_argument("--cpus", type=int, default=None,
                          help="profile each platform on an N-hart SMP machine")
+    add_dispatch(compare)
     compare.add_argument("--period", type=int, default=20_000)
     compare.add_argument("--roofline", action="store_true",
                          help="also run the roofline flow (kernel workloads)")

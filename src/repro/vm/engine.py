@@ -46,6 +46,22 @@ The engine has two dispatch strategies over the same semantics:
   a-time interpreter, kept as the reference implementation.  Equivalence
   tests run both engines on the same workload and assert identical results,
   PMU counter values and sample streams.
+
+Preemptible execution
+---------------------
+
+:meth:`ExecutionEngine.run_yielding` drives either dispatch path as a
+*generator* that yields control after every *quantum* of executed IR
+instructions -- the SMP scheduler's time slice.  The yield points are
+decided by one shared fuel counter that both dispatch paths decrement at
+basic-block boundaries, so the fast and the slow engine are preempted after
+exactly the same dynamic instruction, and a multi-hart schedule (and every
+per-hart sample stream) is bit-identical across the two.  Pending batched
+machine ops are always flushed *before* yielding: once another hart runs,
+the shared LLC and the contended memory controller must have observed every
+access this hart already executed, in program order.  Predecode state,
+the value environment and the whole call stack survive the yield, so a
+thread resumes mid-function exactly where it was preempted.
 """
 
 from __future__ import annotations
@@ -179,6 +195,23 @@ class _Ret:
         self.value = value
 
 
+class _PendingCall:
+    """Sentinel returned by a compiled call step in yieldable mode.
+
+    The generator block loop sees it and delegates to the generator call
+    machinery (``yield from``), so a preemption inside the callee propagates
+    all the way up through the caller's frames.
+    """
+
+    __slots__ = ("callee", "args", "dest")
+
+    def __init__(self, callee: "Function", args: List[object],
+                 dest: Optional[Instruction]):
+        self.callee = callee
+        self.args = args
+        self.dest = dest
+
+
 class _DecodedBlock:
     """A basic block predecoded into executor thunks."""
 
@@ -233,6 +266,10 @@ class ExecutionEngine:
     #: this size (and always at call/return boundaries).
     _FLUSH_THRESHOLD = 2048
 
+    #: Default preemption quantum of :meth:`run_yielding`, in executed IR
+    #: instructions.
+    DEFAULT_QUANTUM = 20_000
+
     def __init__(
         self,
         module: Module,
@@ -263,6 +300,11 @@ class ExecutionEngine:
         self._acct_cell: List[bool] = [self._accounting_enabled]
         self._pending: List[MachineOp] = []
         self._decoded: Dict[Function, _DecodedFunction] = {}
+        # Yieldable-execution state: compiled call steps consult the mode
+        # cell (so one predecode serves run() and run_yielding()), and both
+        # dispatch paths decrement the shared fuel cell at block boundaries.
+        self._yield_cell: List[bool] = [False]
+        self._fuel: List[int] = [0]
 
     # -- setup -----------------------------------------------------------------------------
 
@@ -294,7 +336,69 @@ class ExecutionEngine:
                 f"@{function_name} expects {len(function.args)} arguments, "
                 f"got {len(args)}"
             )
-        return self._call_function(function, list(args))
+        yield_cell = self._yield_cell
+        if not yield_cell[0]:
+            return self._call_function(function, list(args))
+        # run() while a run_yielding() generator of this engine is suspended:
+        # compiled call steps consult the shared mode cell, so it must read
+        # False for the duration or internal calls would be handed back as
+        # _PendingCall markers that the non-generator loop cannot execute.
+        yield_cell[0] = False
+        try:
+            return self._call_function(function, list(args))
+        finally:
+            yield_cell[0] = True
+
+    def run_yielding(self, function_name: str, args: Sequence[object] = (),
+                     quantum: Optional[int] = None):
+        """Execute *function_name* as a preemptible generator.
+
+        Yields ``None`` after every *quantum* executed IR instructions (at
+        the next basic-block boundary, wherever that is in the call stack)
+        and returns the function's return value when it finishes, so a
+        scheduler can drive it with ``yield from``.  Pending batched machine
+        ops are flushed before every yield; both dispatch paths yield after
+        the same dynamic instruction, which keeps multi-hart interleavings
+        (and therefore shared-cache state, DRAM contention and sample
+        streams) bit-identical between ``fast_dispatch=True`` and ``False``.
+
+        Validation happens here, eagerly -- a bad function name, argument
+        count or quantum raises at the call site, not at the scheduler's
+        first ``next()``.
+        """
+        if quantum is None:
+            quantum = self.DEFAULT_QUANTUM
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1 (got {quantum})")
+        function = self.module.get_function(function_name)
+        if function.is_declaration:
+            raise ValueError(f"cannot run declaration @{function_name}")
+        if len(args) != len(function.args):
+            raise ValueError(
+                f"@{function_name} expects {len(function.args)} arguments, "
+                f"got {len(args)}"
+            )
+        return self._drive_yielding(function, list(args), quantum)
+
+    def _drive_yielding(self, function: Function, args: List[object],
+                        quantum: int):
+        """The generator behind :meth:`run_yielding` (already validated)."""
+        fuel = self._fuel
+        yield_cell = self._yield_cell
+        fuel[0] = quantum
+        previous_mode = yield_cell[0]
+        yield_cell[0] = True
+        try:
+            inner = self._call_function_gen(function, args)
+            while True:
+                try:
+                    next(inner)
+                except StopIteration as stop:
+                    return stop.value
+                yield
+                fuel[0] = quantum
+        finally:
+            yield_cell[0] = previous_mode
 
     # -- call machinery -----------------------------------------------------------------------
 
@@ -329,6 +433,191 @@ class ExecutionEngine:
         if pending:
             self.machine.execute_batch(pending, self.task)
             del pending[:]
+
+    # -- yieldable call machinery --------------------------------------------------------------
+
+    def _call_function_gen(self, function: Function, args: List[object]):
+        """Generator twin of :meth:`_call_function` (same frame discipline)."""
+        frame = _Frame(function, self.memory.push_stack_frame())
+        for formal, actual in zip(function.args, args):
+            frame.values[formal] = actual
+        if self.task is not None:
+            entry_pc = 0
+            if function.blocks and function.entry_block.instructions:
+                entry_pc = self._pc_of[id(function.entry_block.instructions[0])]
+            self.task.push_frame(function.name, pc=entry_pc,
+                                 source_file=function.source_file)
+        self.stats.calls += 1
+        try:
+            if self.fast_dispatch:
+                result = yield from self._run_frame_fast_gen(frame)
+            else:
+                result = yield from self._run_frame_slow_gen(frame)
+            return result
+        finally:
+            if self._pending:
+                self._flush()
+            self.memory.pop_stack_frame(frame.stack_token)
+            if self.task is not None:
+                self.task.pop_frame()
+
+    def _run_frame_fast_gen(self, frame: _Frame):
+        """Generator twin of :meth:`_run_frame_fast`.
+
+        Identical block loop, plus: compiled call steps return a
+        :class:`_PendingCall` (the mode cell is set) that is delegated to
+        the generator call machinery, and the shared fuel cell is decremented
+        by each block's instruction count -- when it runs out, pending ops
+        are flushed and control is yielded.
+        """
+        function = frame.function
+        decoded = self._decoded.get(function)
+        if decoded is None:
+            decoded = self._decode_function(function)
+        values = frame.values
+        stats = self.stats
+        per_fn = stats.per_function_instructions
+        fname = function.name
+        pending = self._pending
+        flush = self._flush
+        threshold = self._FLUSH_THRESHOLD
+        fuel = self._fuel
+        call_gen = self._call_function_gen
+        block = decoded.entry
+        prev: Optional[_DecodedBlock] = None
+        try:
+            while True:
+                phis = block.phi_nodes
+                if phis:
+                    getters = block.phi_sources.get(prev)
+                    if getters is None:
+                        for phi in phis:
+                            values[phi] = None
+                    else:
+                        incoming = [g(values) for g in getters]
+                        for phi, value in zip(phis, incoming):
+                            values[phi] = value
+                    accounts = block.phi_accounts
+                    if accounts is not None:
+                        for account in accounts:
+                            account()
+                stats.ir_instructions += block.instr_count
+                per_fn[fname] = per_fn.get(fname, 0) + block.instr_count
+                for step in block.steps:
+                    marker = step(values)
+                    if marker is not None:
+                        result = yield from call_gen(marker.callee, marker.args)
+                        if marker.dest is not None:
+                            values[marker.dest] = result
+                nxt = block.terminator(values)
+                if nxt.__class__ is _Ret:
+                    return nxt.value
+                fuel[0] -= block.instr_count
+                if fuel[0] <= 0:
+                    if pending:
+                        flush()
+                    yield
+                elif len(pending) >= threshold:
+                    flush()
+                prev = block
+                block = nxt
+        except KeyError as exc:
+            key = exc.args[0] if exc.args else None
+            if isinstance(key, Value):
+                raise RuntimeError(
+                    f"value %{key.name} used before definition in "
+                    f"@{frame.function.name}"
+                ) from None
+            raise
+
+    def _run_frame_slow_gen(self, frame: _Frame):
+        """The reference interpreter's dispatch loop (the one and only copy).
+
+        Retires ops one at a time (nothing is ever pending), so a quantum
+        boundary is just a yield; it lands after exactly the same executed
+        IR instruction as in the fast twin because both decrement the one
+        fuel cell per block they complete.  :meth:`_run_frame_slow` drives
+        this generator to completion for plain ``run()`` calls, ignoring the
+        side-effect-free yields.
+        """
+        function = frame.function
+        per_fn = self.stats.per_function_instructions
+        fuel = self._fuel
+        block = function.entry_block
+        prev_block: Optional[BasicBlock] = None
+        while True:
+            phis = block.phis()
+            if phis:
+                incoming = [
+                    self._eval(frame, phi.incoming_for(prev_block)) for phi in phis
+                ]
+                for phi, value in zip(phis, incoming):
+                    frame.values[phi] = value
+                    self._account(phi, frame)
+
+            next_block: Optional[BasicBlock] = None
+            return_value: object = None
+            returned = False
+            executed = 0
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    continue
+                self.stats.ir_instructions += 1
+                per_fn[function.name] = per_fn.get(function.name, 0) + 1
+                executed += 1
+
+                if isinstance(inst, Branch):
+                    condition = bool(self._eval(frame, inst.condition))
+                    self._account(inst, frame, taken=condition)
+                    next_block = inst.then_block if condition else inst.else_block
+                    break
+                if isinstance(inst, Jump):
+                    self._account(inst, frame, taken=True)
+                    next_block = inst.target
+                    break
+                if isinstance(inst, Ret):
+                    self._account(inst, frame, taken=True)
+                    return_value = (
+                        self._eval(frame, inst.value) if inst.value is not None else None
+                    )
+                    returned = True
+                    break
+
+                if isinstance(inst, Call):
+                    result = yield from self._execute_call_gen(frame, inst)
+                else:
+                    result = self._execute(frame, inst)
+                if not inst.type.is_void:
+                    frame.values[inst] = result
+
+            if returned:
+                return return_value
+            if next_block is None:
+                raise RuntimeError(
+                    f"block {block.name} in @{function.name} fell through without "
+                    "a terminator"
+                )
+            fuel[0] -= executed
+            if fuel[0] <= 0:
+                yield
+            prev_block, block = block, next_block
+
+    def _execute_call_gen(self, frame: _Frame, inst: Call):
+        """Evaluate a call instruction on the reference path (generator)."""
+        args = [self._eval(frame, a) for a in inst.operands]
+        self._account(inst, frame)
+        callee = inst.callee
+        callee_fn: Optional[Function] = None
+        if isinstance(callee, Function):
+            callee_fn = callee
+        elif isinstance(callee, str) and self.module.has_function(callee):
+            callee_fn = self.module.get_function(callee)
+
+        if callee_fn is not None and not callee_fn.is_declaration:
+            result = yield from self._call_function_gen(callee_fn, args)
+            return result
+        name = callee if isinstance(callee, str) else callee.name
+        return self._dispatch_external(name, args)
 
     # -- fast dispatch ------------------------------------------------------------------------
 
@@ -791,15 +1080,22 @@ class ExecutionEngine:
 
         if callee_fn is not None and not callee_fn.is_declaration:
             call_function = self._call_function
+            yield_cell = self._yield_cell
 
-            def step(values: dict) -> None:
+            def step(values: dict) -> Optional[_PendingCall]:
                 args = [g(values) for g in arg_getters]
                 if account is not None:
                     account()
                 flush()
+                if yield_cell[0]:
+                    # run_yielding(): the generator block loop performs the
+                    # call, so preemption propagates through the callee.
+                    return _PendingCall(callee_fn, args,
+                                        inst if store_result else None)
                 result = call_function(callee_fn, args)
                 if store_result:
                     values[inst] = result
+                return None
             return step
 
         name = callee if isinstance(callee, str) else callee.name
@@ -864,59 +1160,34 @@ class ExecutionEngine:
     # -- slow (reference) dispatch --------------------------------------------------------------
 
     def _run_frame_slow(self, frame: _Frame) -> object:
-        function = frame.function
-        per_fn = self.stats.per_function_instructions
-        block = function.entry_block
-        prev_block: Optional[BasicBlock] = None
-        while True:
-            # Phi nodes read their incoming values simultaneously.
-            phis = block.phis()
-            if phis:
-                incoming = [
-                    self._eval(frame, phi.incoming_for(prev_block)) for phi in phis
-                ]
-                for phi, value in zip(phis, incoming):
-                    frame.values[phi] = value
-                    self._account(phi, frame)
+        """Drive the reference interpreter's one dispatch loop to completion.
 
-            next_block: Optional[BasicBlock] = None
-            return_value: object = None
-            returned = False
-            for inst in block.instructions:
-                if isinstance(inst, Phi):
-                    continue
-                self.stats.ir_instructions += 1
-                per_fn[function.name] = per_fn.get(function.name, 0) + 1
-
-                if isinstance(inst, Branch):
-                    condition = bool(self._eval(frame, inst.condition))
-                    self._account(inst, frame, taken=condition)
-                    next_block = inst.then_block if condition else inst.else_block
-                    break
-                if isinstance(inst, Jump):
-                    self._account(inst, frame, taken=True)
-                    next_block = inst.target
-                    break
-                if isinstance(inst, Ret):
-                    self._account(inst, frame, taken=True)
-                    return_value = (
-                        self._eval(frame, inst.value) if inst.value is not None else None
-                    )
-                    returned = True
-                    break
-
-                result = self._execute(frame, inst)
-                if not inst.type.is_void:
-                    frame.values[inst] = result
-
-            if returned:
-                return return_value
-            if next_block is None:
-                raise RuntimeError(
-                    f"block {block.name} in @{function.name} fell through without "
-                    "a terminator"
-                )
-            prev_block, block = block, next_block
+        The generator twin *is* the reference implementation -- keeping a
+        second verbatim copy of the loop here would have to be edited in
+        lockstep forever.  A quantum "yield" has no side effect on the slow
+        path (nothing is ever pending), so draining the generator and
+        ignoring its yields executes identically; the fuel cell is whatever
+        the last run_yielding() left behind, which only determines where the
+        ignored yields land.
+        """
+        fuel = self._fuel
+        saved_fuel = fuel[0]
+        # A drained run never wants quantum yields: park the fuel cell at a
+        # value no realistic run exhausts, so the generator runs straight
+        # through instead of suspending at every block boundary.
+        fuel[0] = 1 << 62
+        gen = self._run_frame_slow_gen(frame)
+        try:
+            while True:
+                try:
+                    next(gen)
+                except StopIteration as stop:
+                    return stop.value
+        finally:
+            # Fuel-neutral, like the fast path's run(): a slow run() while a
+            # run_yielding() generator is suspended must not shift the
+            # suspended run's quantum boundaries.
+            fuel[0] = saved_fuel
 
     # -- instruction execution (reference path) -------------------------------------------------
 
@@ -965,8 +1236,6 @@ class ExecutionEngine:
             index = int(self._eval(frame, inst.index))
             self._account(inst, frame)
             return base + index * inst.element_bytes
-        if isinstance(inst, Call):
-            return self._execute_call(frame, inst)
         if isinstance(inst, Cast):
             result = self._execute_cast(frame, inst)
             self._account(inst, frame)
@@ -1074,21 +1343,6 @@ class ExecutionEngine:
         if opcode in ("bitcast", "inttoptr", "ptrtoint"):
             return value
         raise RuntimeError(f"unhandled cast opcode {opcode}")
-
-    def _execute_call(self, frame: _Frame, inst: Call) -> object:
-        args = [self._eval(frame, a) for a in inst.operands]
-        self._account(inst, frame)
-        callee = inst.callee
-        callee_fn: Optional[Function] = None
-        if isinstance(callee, Function):
-            callee_fn = callee
-        elif isinstance(callee, str) and self.module.has_function(callee):
-            callee_fn = self.module.get_function(callee)
-
-        if callee_fn is not None and not callee_fn.is_declaration:
-            return self._call_function(callee_fn, args)
-        name = callee if isinstance(callee, str) else callee.name
-        return self._dispatch_external(name, args)
 
     def _dispatch_external(self, name: str, args: List[object]) -> object:
         self.stats.external_calls += 1

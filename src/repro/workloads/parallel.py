@@ -21,6 +21,16 @@ A parallel workload is also a plain :class:`~repro.api.workload.Workload`:
 ``executable()`` runs every shard sequentially on one machine, which is what
 ``cpus=1`` means and keeps these workloads usable by every single-hart code
 path (and bit-deterministic there).
+
+The compiled-kernel shards execute through
+:meth:`~repro.vm.engine.ExecutionEngine.run_yielding`: the engine itself is
+the quantum generator, yielding to the scheduler every ``quantum`` executed
+IR instructions at the next block boundary -- so a thread is preempted
+*mid-function* without losing predecode state, and the whole quantum retires
+through ``Machine.execute_batch``.  ``spec.fast_dispatch`` picks the engine
+(predecoded thunks by default; the reference interpreter for differential
+runs); quantum boundaries are identical in both modes, which keeps SMP
+schedules, counters and sample streams bit-identical across them.
 """
 
 from __future__ import annotations
@@ -28,9 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Protocol, Sequence, Tuple, runtime_checkable
 
-from repro.compiler.frontend import compile_source
+from repro.compiler.cache import compile_source_cached
 from repro.compiler.targets import target_for_platform
-from repro.compiler.transforms import default_optimization_pipeline
 from repro.kernel.task import Task
 from repro.platforms.descriptors import PlatformDescriptor
 from repro.platforms.machine import Machine
@@ -81,31 +90,6 @@ void matmul_rows(float* A, float* B, float* C, long n, long lo, long hi) {
 """
 
 
-#: Compiled-module memo: every thread of a shard set (and every repeated
-#: session run) compiles the identical source for the identical target, so
-#: one compile per (source, lowering configuration) serves them all.  The
-#: module is immutable after the pipeline runs and engines keep per-engine
-#: decode state, so sharing one instance across harts is safe -- and keeps
-#: pc assignment (id-keyed, deterministic walk) identical on every hart.
-_MODULE_CACHE: dict = {}
-
-
-def _compile_module(source: str, filename: str, descriptor: PlatformDescriptor,
-                    enable_vectorizer: bool):
-    key = (source, filename, descriptor.march, descriptor.vector.sp_lanes(),
-           enable_vectorizer)
-    module = _MODULE_CACHE.get(key)
-    if module is None:
-        module = compile_source(source, filename)
-        pipeline = default_optimization_pipeline(
-            vector_width=descriptor.vector.sp_lanes(),
-            enable_vectorizer=enable_vectorizer,
-        )
-        pipeline.run(module)
-        _MODULE_CACHE[key] = module
-    return module
-
-
 def _drain(bodies: Sequence[Tuple[str, ThreadBody]], machine: Machine,
            task: Task) -> None:
     """Run thread bodies to completion, one after another (cpus=1 semantics)."""
@@ -114,13 +98,19 @@ def _drain(bodies: Sequence[Tuple[str, ThreadBody]], machine: Machine,
             pass
 
 
+def _fast_dispatch(spec) -> bool:
+    """The spec's engine selection (default on, like the engine itself)."""
+    return getattr(spec, "fast_dispatch", True)
+
+
 @dataclass
 class MatmulParallelWorkload:
     """``matmul-parallel``: one n x n matmul sharded by output-row blocks."""
 
     n: int = 32
-    #: Rows per scheduler quantum; None picks ~4 quanta per thread.
-    row_block: int = 0
+    #: Scheduler time slice in executed IR instructions; 0 uses the engine's
+    #: default quantum.
+    quantum: int = 0
     description: str = ("row-sharded parallel matmul over shared matrices "
                         "(strong scaling)")
     name: str = field(default="matmul-parallel", init=False)
@@ -135,18 +125,20 @@ class MatmulParallelWorkload:
 
     def _body(self, lo: int, hi: int, spec) -> ThreadBody:
         def body(machine: Machine, task: Task) -> Iterator[None]:
-            module = _compile_module(MATMUL_ROWS_SOURCE, "matmul_rows.c",
-                                     machine.descriptor, spec.enable_vectorizer)
+            module = compile_source_cached(MATMUL_ROWS_SOURCE, "matmul_rows.c",
+                                           machine.descriptor,
+                                           spec.enable_vectorizer)
             target = target_for_platform(machine.descriptor)
             memory = Memory()
             base_args = self._allocate(memory)
             engine = ExecutionEngine(module, machine, target, task=task,
-                                     memory=memory)
-            block = self.row_block or max(1, (hi - lo + 3) // 4)
-            for start in range(lo, hi, block):
-                engine.run("matmul_rows",
-                           base_args + [start, min(start + block, hi)])
-                yield
+                                     memory=memory,
+                                     fast_dispatch=_fast_dispatch(spec))
+            # The engine is the quantum generator: it yields every `quantum`
+            # executed IR instructions, so preemption lands mid-function.
+            yield from engine.run_yielding("matmul_rows",
+                                           base_args + [lo, hi],
+                                           quantum=self.quantum or None)
         return body
 
     def threads(self, cpus: int, spec) -> List[Tuple[str, ThreadBody]]:
@@ -210,6 +202,9 @@ class StreamTriadMtWorkload:
 
     n: int = 16384
     passes: int = 3
+    #: Scheduler time slice in executed IR instructions; 0 uses the engine's
+    #: default quantum.
+    quantum: int = 0
     description: str = ("multi-threaded STREAM triad over per-thread slices "
                         "(weak scaling, LLC contention)")
     name: str = field(default="stream-triad-mt", init=False)
@@ -217,8 +212,9 @@ class StreamTriadMtWorkload:
 
     def _body(self, index: int, spec) -> ThreadBody:
         def body(machine: Machine, task: Task) -> Iterator[None]:
-            module = _compile_module(TRIAD_SLICE_SOURCE, "triad.c",
-                                     machine.descriptor, spec.enable_vectorizer)
+            module = compile_source_cached(TRIAD_SLICE_SOURCE, "triad.c",
+                                           machine.descriptor,
+                                           spec.enable_vectorizer)
             target = target_for_platform(machine.descriptor)
             memory = Memory()
             if index:
@@ -228,9 +224,13 @@ class StreamTriadMtWorkload:
             b = memory.alloc_float_array(_random_floats(self.n, 13 + index))
             c = memory.alloc_float_array(_random_floats(self.n, 14 + index))
             engine = ExecutionEngine(module, machine, target, task=task,
-                                     memory=memory)
+                                     memory=memory,
+                                     fast_dispatch=_fast_dispatch(spec))
             for _ in range(self.passes):
-                engine.run("triad", [a, b, c, 3.0, self.n])
+                # Quantum yields mid-pass, plus one boundary per pass (the
+                # slice walks are what the LLC-contention model interleaves).
+                yield from engine.run_yielding("triad", [a, b, c, 3.0, self.n],
+                                               quantum=self.quantum or None)
                 yield
         return body
 

@@ -14,6 +14,7 @@ call chains.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -127,7 +128,11 @@ class TraceExecutor:
         return base + (self.random.randrange(working_set) & ~0x7)
 
     def _pc(self, function: SyntheticFunction, slot: int) -> int:
-        return (hash(function.name) & 0xFFFF) * 0x100 + (slot % 64) * 4 + 0x0100_0000
+        # crc32, not hash(): str hashing is randomised per process
+        # (PYTHONHASHSEED), and synthetic pcs must be reproducible across
+        # processes for the golden-file CLI tests (and any cross-run diff).
+        digest = zlib.crc32(function.name.encode("utf-8"))
+        return (digest & 0xFFFF) * 0x100 + (slot % 64) * 4 + 0x0100_0000
 
     # -- execution -------------------------------------------------------------------------
 

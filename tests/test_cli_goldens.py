@@ -1,0 +1,87 @@
+"""Golden-file regression tests for the CLI's machine-consumable output.
+
+Every modelled machine, scheduler and workload in the repo is deterministic
+by construction (seeded generators, deterministic round-robin scheduling,
+cycle-approximate timing with no wall-clock inputs), so the full ``--json``
+export of a CLI run is reproducible byte for byte -- across runs, dispatch
+engines and Python versions.  These tests pin the exports of the four
+subcommands the paper's tables are built from (``stat``, ``record``,
+``compare``, ``capabilities``) against checked-in goldens.
+
+When an output change is intentional, bless it with::
+
+    PYTHONPATH=src python -m pytest tests/test_cli_goldens.py --update-goldens
+
+and review the golden diff like any other code change.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.toolchain.cli import main as cli_main
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+#: Golden file -> the CLI invocation that must keep producing it.
+CASES = {
+    "capabilities.json": [
+        "capabilities", "--json",
+    ],
+    "stat_matmul_parallel_x60_2harts.json": [
+        "stat", "--workload", "matmul-parallel", "-n", "8",
+        "--cpus", "2", "-p", "x60", "--json",
+    ],
+    "record_forkjoin_x60_2harts.json": [
+        "record", "--workload", "forkjoin-calltree",
+        "--cpus", "2", "-p", "x60", "--period", "2000", "--json",
+    ],
+    "compare_forkjoin_x60_c910.json": [
+        "compare", "--platforms", "SpacemiT X60", "T-Head C910",
+        "--workload", "forkjoin-calltree", "--cpus", "2",
+        "--period", "2000", "--json",
+    ],
+}
+
+
+def _capture(capsys, argv):
+    code = cli_main(list(argv))
+    out = capsys.readouterr().out
+    assert code == 0, f"{argv} exited with {code}"
+    return out
+
+
+@pytest.mark.parametrize("name,argv", sorted(CASES.items()),
+                         ids=sorted(CASES))
+def test_cli_json_matches_golden(name, argv, capsys, request):
+    out = _capture(capsys, argv)
+    json.loads(out)                       # always a valid JSON document
+    path = os.path.join(GOLDEN_DIR, name)
+    if request.config.getoption("--update-goldens"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(out)
+        return
+    assert os.path.exists(path), (
+        f"golden {name} missing; generate it with --update-goldens"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        golden = handle.read()
+    assert out == golden, (
+        f"{' '.join(argv)} diverged from tests/goldens/{name}; if the change "
+        "is intentional, rerun with --update-goldens and review the diff"
+    )
+
+
+def test_stat_golden_is_engine_independent(capsys):
+    """--no-fast-dispatch must reproduce the same golden except for the spec
+    field that names the engine -- the differential property, CLI-level."""
+    argv = CASES["stat_matmul_parallel_x60_2harts.json"]
+    fast = json.loads(_capture(capsys, argv))
+    slow = json.loads(_capture(capsys, argv + ["--no-fast-dispatch"]))
+    assert fast["spec"]["fast_dispatch"] is True
+    assert slow["spec"]["fast_dispatch"] is False
+    fast["spec"].pop("fast_dispatch")
+    slow["spec"].pop("fast_dispatch")
+    assert fast == slow

@@ -142,6 +142,42 @@ class TestScheduler:
 
         assert run_once() == run_once()
 
+    def test_zero_threads_is_a_clean_value_error(self):
+        machine = MultiHartMachine(spacemit_x60(), cpus=2)
+        with pytest.raises(ValueError, match="at least one thread"):
+            RoundRobinScheduler(machine).run([])
+
+    def test_out_of_range_pin_is_a_clean_value_error(self):
+        machine = MultiHartMachine(spacemit_x60(), cpus=2)
+        threads = [Thread("ok", alu_loop_body(10)),
+                   Thread("bad", alu_loop_body(10), hart_id=5)]
+        with pytest.raises(ValueError, match="harts 0..1"):
+            RoundRobinScheduler(machine).run(threads)
+        # Validation happens before anything runs: no quantum executed.
+        assert threads[0].quanta == 0 and not threads[0].finished
+
+    def test_negative_pin_is_a_clean_value_error(self):
+        machine = MultiHartMachine(spacemit_x60(), cpus=2)
+        with pytest.raises(ValueError, match="pinned"):
+            RoundRobinScheduler(machine).run(
+                [Thread("bad", alu_loop_body(10), hart_id=-1)])
+
+    def test_explicit_pin_overrides_default_placement(self):
+        machine = MultiHartMachine(spacemit_x60(), cpus=3)
+        threads = [Thread("a", alu_loop_body(10), hart_id=2),
+                   Thread("b", alu_loop_body(10), hart_id=2),
+                   Thread("c", alu_loop_body(10))]   # default: index 2 % 3
+        trace = RoundRobinScheduler(machine).run(threads)
+        assert trace.threads_per_hart == {2: ["a", "b", "c"]}
+        assert all(thread.finished for thread in threads)
+
+    def test_smp_stat_rejects_empty_bodies(self):
+        machine = MultiHartMachine(spacemit_x60(), cpus=2)
+        with pytest.raises(ValueError, match="thread body"):
+            smp_stat(machine, [])
+        with pytest.raises(ValueError, match="thread body"):
+            smp_record(machine, [])
+
     def test_same_seed_gives_identical_per_hart_sample_streams(self):
         workload = registry["forkjoin-calltree"]
 

@@ -1,0 +1,138 @@
+"""Property-based tests (seeded, stdlib ``random``) for the SMP memory model.
+
+The windowed bandwidth-contention model of
+:class:`~repro.smp.memory.MemoryController` carries the whole SMP timing
+story, so its invariants are pinned down over randomly generated access
+interleavings rather than a handful of hand-written sequences:
+
+* **determinism** -- the same access interleaving always produces the same
+  per-access latencies and the same statistics;
+* **monotonicity** -- a window with more distinct competing harts never makes
+  an access *faster*, and steady-state round-robin latency is exactly the
+  closed-form ``base * (1 + c * (k - 1))``;
+* **single-hart collapse** -- one hart alone always pays exactly the base
+  DRAM latency (a 1-hart SMP machine times accesses like the single-hart
+  model), including after other harts age out of the window.
+
+Every case draws its parameters from ``random.Random(seed)`` over a seed
+range, so failures reproduce exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.cpu.cache import MemoryConfig
+from repro.smp.memory import MemoryController
+
+SEEDS = range(24)
+
+
+def _random_controller(rng: random.Random) -> MemoryController:
+    return MemoryController(
+        MemoryConfig(latency_cycles=rng.randrange(40, 400)),
+        window=rng.randrange(2, 64),
+        contention_per_hart=rng.choice([0.0, 0.25, 0.5, 1.0, 2.0]),
+    )
+
+
+def _random_interleaving(rng: random.Random, harts: int, length: int):
+    return [rng.randrange(harts) for _ in range(length)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_contention_is_deterministic(seed):
+    """Same interleaving, fresh controller: identical latencies and stats."""
+    rng = random.Random(seed)
+    harts = rng.randrange(1, 6)
+    accesses = _random_interleaving(rng, harts, rng.randrange(50, 400))
+    params = rng.getstate()
+
+    def run():
+        rng.setstate(params)
+        controller = _random_controller(rng)
+        latencies = [controller.access_latency(hart) for hart in accesses]
+        return latencies, controller.stats()
+
+    assert run() == run()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_hart_always_pays_base_latency(seed):
+    """One requester is never contended, whatever the model parameters."""
+    rng = random.Random(seed)
+    controller = _random_controller(rng)
+    base = controller.config.latency_cycles
+    hart = rng.randrange(8)
+    latencies = [controller.access_latency(hart)
+                 for _ in range(rng.randrange(10, 200))]
+    assert set(latencies) == {base}
+    assert controller.contended_accesses == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lone_hart_collapses_back_to_base_after_window_ages_out(seed):
+    """Contention is windowed: harts that stop competing stop costing."""
+    rng = random.Random(seed)
+    controller = _random_controller(rng)
+    base = controller.config.latency_cycles
+    window = controller.window
+    # A burst of multi-hart traffic, then one hart running alone.
+    for hart in _random_interleaving(rng, 4, rng.randrange(20, 100)):
+        controller.access_latency(hart)
+    solo = [controller.access_latency(0) for _ in range(window + 1)]
+    # Once hart 0's own accesses fill the window, every later access is flat.
+    assert solo[-1] == base
+    assert all(latency == base for latency in solo[window:])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_latency_monotone_in_competing_harts(seed):
+    """Round-robin over k harts: steady-state latency is closed-form and
+    non-decreasing in k."""
+    rng = random.Random(seed)
+    base = rng.randrange(40, 400)
+    contention = rng.choice([0.0, 0.25, 0.5, 1.0])
+    window = rng.randrange(8, 64)
+    steady = []
+    for k in (1, 2, 3, 4):
+        controller = MemoryController(MemoryConfig(latency_cycles=base),
+                                      window=window,
+                                      contention_per_hart=contention)
+        latencies = [controller.access_latency(index % k)
+                     for index in range(window + 4 * k)]
+        # After the window is saturated with all k harts the latency settles.
+        settled = latencies[-1]
+        assert settled == int(base * (1.0 + contention * (k - 1)))
+        steady.append(settled)
+    assert steady == sorted(steady)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_more_competitors_never_speed_up_an_access(seed):
+    """Pointwise monotonicity: replaying a hart's accesses with extra
+    competitors interleaved never lowers any of that hart's latencies."""
+    rng = random.Random(seed)
+    base = rng.randrange(40, 400)
+    contention = rng.choice([0.25, 0.5, 1.0])
+    window = rng.randrange(4, 32)
+    count = rng.randrange(10, 60)
+
+    def hart0_latencies(competitors: int):
+        controller = MemoryController(MemoryConfig(latency_cycles=base),
+                                      window=window,
+                                      contention_per_hart=contention)
+        observed = []
+        for _ in range(count):
+            observed.append(controller.access_latency(0))
+            for competitor in range(1, competitors + 1):
+                controller.access_latency(competitor)
+        return observed
+
+    alone = hart0_latencies(0)
+    for competitors in (1, 2, 3):
+        contended = hart0_latencies(competitors)
+        previous = hart0_latencies(competitors - 1)
+        assert all(now >= was for now, was in zip(contended, alone))
+        assert all(now >= was for now, was in zip(contended, previous))
+        assert sum(contended) >= sum(previous)
