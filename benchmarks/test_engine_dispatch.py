@@ -1,30 +1,51 @@
-"""Microbenchmark: the fast-dispatch engine vs the reference interpreter.
+"""Microbenchmarks: dispatch and retirement fast paths vs their references.
 
-Runs the tiled matmul with full timing/PMU accounting through both dispatch
-paths, reports IR instructions/second for each, asserts the predecoded path
-actually wins, and cross-checks that both leave the machine in an identical
-state.  (The exhaustive bit-level equivalence checks -- sampled runs, sample
-streams, multiplexing -- live in ``tests/test_engine_fast_dispatch.py``.)
+Two comparisons, both on the tiled matmul with full timing/PMU accounting:
+
+* fast dispatch vs the reference interpreter (the PR-1 property);
+* block-delta + batched retirement vs per-op retirement -- the path the
+  machine falls back to the moment a sampling counter arms.  The measured
+  ops/sec of both retirement modes are written to
+  ``benchmarks/output/BENCH_retire.json`` to seed the repo's perf
+  trajectory.
+
+Each benchmark asserts the fast path actually wins and cross-checks that
+both sides leave the machine in an identical state.  (The exhaustive
+bit-level equivalence checks -- sampled runs, sample streams, multiplexing
+-- live in ``tests/test_engine_fast_dispatch.py`` and
+``tests/test_block_delta.py``.)
 """
 
+import json
 import os
 import time
 
+from repro.api import ProfileSpec, Session
 from repro.compiler.frontend import compile_source
 from repro.compiler.targets import target_for_platform
 from repro.compiler.transforms import build_roofline_pipeline
 from repro.platforms import Machine, spacemit_x60
 from repro.runtime import RooflineRuntime
 from repro.vm import ExecutionEngine, Memory
-from repro.workloads import MATMUL_TILED_SOURCE, matmul_args_builder
+from repro.workloads import MATMUL_TILED_SOURCE, matmul_args_builder, registry
 
 MATMUL_N = 16
+
+#: Matrix size of the Session-level retirement benchmark (big enough that
+#: execution dominates session overhead).
+RETIRE_MATMUL_N = 24
 
 #: Required fast-vs-reference speedup.  The local default (1.2x) keeps the
 #: assertion robust on a loaded host; CI's dispatch-regression lane raises it
 #: (REPRO_MIN_DISPATCH_SPEEDUP=1.5) so a fast path that quietly degrades
 #: below 1.5x fails the build.
 MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_DISPATCH_SPEEDUP", "1.2"))
+
+#: Required block-delta-vs-per-op retirement speedup of the counting-mode
+#: matmul-tiled Session run: 1.5x everywhere (locally and in the CI
+#: perf-regression lane, which pins it explicitly via
+#: REPRO_MIN_RETIRE_SPEEDUP), against a measured ~2.2x margin.
+MIN_RETIRE_SPEEDUP = float(os.environ.get("REPRO_MIN_RETIRE_SPEEDUP", "1.5"))
 
 
 def _run(fast_dispatch: bool):
@@ -75,3 +96,67 @@ def test_dispatch_rate_fast(benchmark):
                                                   rounds=1, iterations=1)
     assert stats.ir_instructions > 0
     assert machine.cycles > 0
+
+
+def _session_counting_run(per_op: bool):
+    """One counting-mode matmul-tiled Session run; ``per_op`` forces the
+    retirement path that runs whenever a sampling counter is armed."""
+    session = Session("SpacemiT X60")
+    machine = session.machine(True)
+    if per_op:
+        machine.set_sampling_probe(lambda: True)
+    spec = ProfileSpec().counting()
+    if per_op:
+        spec = spec.without_block_delta().without_fast_cache()
+    workload = registry.create("matmul-tiled", n=RETIRE_MATMUL_N)
+    start = time.perf_counter()
+    run = session.run(workload, spec)
+    elapsed = time.perf_counter() - start
+    return run, machine, elapsed
+
+
+def test_block_delta_retirement_beats_per_op(output_dir):
+    """Counting-mode Session run: block-delta + batched retirement vs per-op.
+
+    Writes BENCH_retire.json (ops/sec for both modes) and enforces the
+    1.5x speedup floor (REPRO_MIN_RETIRE_SPEEDUP; measured margin ~2.2x).
+    """
+    # Interleave and keep the best of three to shed scheduler noise.
+    fast_times, slow_times = [], []
+    for _ in range(3):
+        fast_run, fast_machine, fast_elapsed = _session_counting_run(False)
+        slow_run, slow_machine, slow_elapsed = _session_counting_run(True)
+        fast_times.append(fast_elapsed)
+        slow_times.append(slow_elapsed)
+    fast_elapsed = min(fast_times)
+    slow_elapsed = min(slow_times)
+
+    # Same modelled machine state and counters on both retirement paths.
+    assert fast_run.stat.counts == slow_run.stat.counts
+    assert fast_machine.cycles == slow_machine.cycles
+    assert fast_machine.event_totals() == slow_machine.event_totals()
+
+    ops = fast_machine.instructions
+    speedup = slow_elapsed / fast_elapsed
+    payload = {
+        "benchmark": "counting-mode matmul-tiled Session run "
+                     f"(n={RETIRE_MATMUL_N}, SpacemiT X60)",
+        "machine_ops": ops,
+        "per_op_ops_per_sec": round(ops / slow_elapsed),
+        "block_delta_ops_per_sec": round(ops / fast_elapsed),
+        "per_op_seconds": round(slow_elapsed, 4),
+        "block_delta_seconds": round(fast_elapsed, 4),
+        "speedup": round(speedup, 3),
+    }
+    path = os.path.join(output_dir, "BENCH_retire.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nretirement: per-op {payload['per_op_ops_per_sec']:,} ops/s; "
+          f"block-delta {payload['block_delta_ops_per_sec']:,} ops/s; "
+          f"speedup {speedup:.2f}x (floor {MIN_RETIRE_SPEEDUP}x)")
+
+    assert speedup > MIN_RETIRE_SPEEDUP, (
+        f"block-delta retirement only {speedup:.2f}x faster than per-op "
+        f"retirement (required: {MIN_RETIRE_SPEEDUP}x)"
+    )

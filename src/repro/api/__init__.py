@@ -36,6 +36,7 @@ from repro.api.workload import (
     SyntheticTraceWorkload,
     Workload,
 )
+from repro.api.executor import RunRequest, execute_request, run_many
 from repro.api.run import Comparison, Run
 from repro.api.session import Session
 
@@ -46,6 +47,9 @@ __all__ = [
     "SyntheticTraceWorkload",
     "CompiledKernelWorkload",
     "Run",
+    "RunRequest",
+    "run_many",
+    "execute_request",
     "Comparison",
     "Session",
 ]

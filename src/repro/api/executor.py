@@ -1,0 +1,142 @@
+"""Parallel run executor: fan profiling runs out over worker processes.
+
+Every modelled machine is deterministic and every :meth:`repro.api.Session.
+run` is independent (a session builds its own machines; compiled modules are
+memoized per process), so a plan of ``platform x workload x spec`` runs can
+execute in any order -- or in parallel -- and produce bit-identical results.
+:func:`run_many` exploits that: requests fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, each worker warms its
+compile cache once (:func:`compile_source_cached` memoizes per process), and
+the results come back in request order regardless of completion order.
+
+``Session.compare(..., workers=N)`` and the figure/table benchmark drivers
+are the in-tree consumers; the building blocks are public so external
+sweeps (platform matrices, parameter scans) can schedule their own plans.
+
+Requests should carry workloads *by registry name* (plus factory params):
+names pickle trivially and each worker builds its own instance.  Concrete
+workload objects also work when they pickle (the built-in kernel workloads
+do); a workload that cannot be pickled raises a clean ``ValueError`` before
+any process is spawned.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api.run import Run
+from repro.api.spec import ProfileSpec
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One profiling run of a plan: platform x workload x spec.
+
+    ``platform`` is a platform name or a full
+    :class:`~repro.platforms.descriptors.PlatformDescriptor` -- pass the
+    descriptor itself for customized platforms, so workers profile exactly
+    the machine the caller built instead of the registry platform of the
+    same name.  ``workload`` is preferably a registry name; ``params`` are
+    then passed to the registry factory (``scale``/``n``...).
+    ``vendor_driver`` is the session-wide default for specs that leave it
+    unset.
+    """
+
+    platform: Union[str, object]
+    workload: Union[str, object]
+    params: Dict[str, object] = field(default_factory=dict)
+    spec: ProfileSpec = field(default_factory=ProfileSpec)
+    vendor_driver: bool = True
+
+
+def _resolve_workload(request: RunRequest):
+    if isinstance(request.workload, str):
+        from repro.workloads import registry
+        return registry.create(request.workload, **dict(request.params))
+    return request.workload
+
+
+def execute_request(request: RunRequest) -> Run:
+    """Run one request in this process (the worker body of :func:`run_many`)."""
+    from repro.api.session import Session
+    session = Session(request.platform, vendor_driver=request.vendor_driver)
+    return session.run(_resolve_workload(request), request.spec)
+
+
+def _platform_key(platform: Union[str, object]) -> str:
+    return platform if isinstance(platform, str) else platform.name
+
+
+def _warmup_plan(requests: Sequence[RunRequest]) -> List[tuple]:
+    """The distinct kernel sources a plan compiles, for per-worker warmup."""
+    warmups: List[tuple] = []
+    seen = set()
+    for request in requests:
+        workload = _resolve_workload(request)
+        source = getattr(workload, "source", None)
+        filename = getattr(workload, "filename", None)
+        if not isinstance(source, str) or not isinstance(filename, str):
+            continue
+        key = (_platform_key(request.platform), source,
+               request.spec.enable_vectorizer)
+        if key not in seen:
+            seen.add(key)
+            warmups.append((request.platform, source, filename,
+                            request.spec.enable_vectorizer))
+    return warmups
+
+
+def _warm_worker(warmups: Sequence[tuple]) -> None:
+    """Pool initializer: precompile the plan's kernels into this worker's
+    process-wide compile cache, so first runs don't pay cold compiles."""
+    from repro.compiler.cache import compile_source_cached
+    from repro.platforms import platform_by_name
+    for platform, source, filename, enable_vectorizer in warmups:
+        try:
+            descriptor = (platform_by_name(platform)
+                          if isinstance(platform, str) else platform)
+            compile_source_cached(source, filename, descriptor,
+                                  enable_vectorizer)
+        except Exception:
+            # Warmup is best-effort; a kernel that cannot compile surfaces
+            # its real error in the run that needs it.
+            pass
+
+
+def _check_picklable(requests: Sequence[RunRequest]) -> None:
+    for request in requests:
+        try:
+            pickle.dumps(request)
+        except Exception as error:
+            raise ValueError(
+                f"request for workload {getattr(request.workload, 'name', request.workload)!r} "
+                "cannot be sent to a worker process; pass the workload by "
+                f"registry name instead ({error})"
+            ) from error
+
+
+def run_many(requests: Sequence[RunRequest],
+             workers: Optional[int] = None) -> List[Run]:
+    """Execute *requests* and return their :class:`Run` results in order.
+
+    ``workers`` <= 1 (or a single-request plan) runs serially in-process.
+    More workers fan out over a process pool; every run is deterministic and
+    isolated, so results -- and their order, which always matches the
+    request order -- are bit-identical to the serial path.  ``workers=None``
+    uses one worker per CPU (capped at the plan size).
+    """
+    requests = list(requests)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or len(requests) <= 1:
+        return [execute_request(request) for request in requests]
+    _check_picklable(requests)
+    workers = min(workers, len(requests))
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_warm_worker,
+                             initargs=(_warmup_plan(requests),)) as pool:
+        return list(pool.map(execute_request, requests))

@@ -58,6 +58,13 @@ class Run:
     #: The exceptions behind :attr:`errors`, for callers that need to re-raise
     #: (the legacy workflow facade does); not part of the dict/JSON export.
     failures: Dict[str, BaseException] = field(default_factory=dict, repr=False)
+    #: Wall-clock phase timings in seconds (``compile`` -- building the
+    #: workload executable, including cached compilation; ``execute`` -- the
+    #: profiled runs themselves; ``analyses`` -- hotspots/flame graphs/
+    #: roofline derivation).  Exported under a ``timings`` key; golden and
+    #: differential comparisons must exclude it (it is the one
+    #: non-deterministic field a Run carries).
+    timings: Dict[str, float] = field(default_factory=dict)
 
     # -- accessors ----------------------------------------------------------------------
 
@@ -131,10 +138,21 @@ class Run:
             payload["roofline"] = self.roofline.to_dict()
         if self.errors:
             payload["errors"] = dict(self.errors)
+        if self.timings:
+            payload["timings"] = {phase: round(seconds, 6)
+                                  for phase, seconds in self.timings.items()}
         return payload
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def format_timings(self) -> str:
+        """One-line wall-clock phase report (the CLI's ``--timings`` output)."""
+        if not self.timings:
+            return f"{self.platform}: no phase timings recorded"
+        parts = [f"{phase} {seconds * 1000:.1f}ms"
+                 for phase, seconds in self.timings.items()]
+        return f"{self.platform}: " + "  ".join(parts)
 
     def flamegraph_svg(self, metric: str = "cycles") -> str:
         flame = self.flame(metric)

@@ -15,6 +15,7 @@ machine model (and therefore one identified CPU), like the real tool.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.api.run import Comparison, Run
@@ -26,7 +27,7 @@ from repro.miniperf import Miniperf
 from repro.miniperf.groups import SamplingNotSupportedError
 from repro.platforms.descriptors import PlatformDescriptor
 from repro.platforms.machine import Machine
-from repro.platforms import platform_by_name
+from repro.platforms import all_platforms, platform_by_name
 
 PlatformLike = Union[str, PlatformDescriptor]
 
@@ -35,6 +36,38 @@ def _resolve_platform(platform: PlatformLike) -> PlatformDescriptor:
     if isinstance(platform, PlatformDescriptor):
         return platform
     return platform_by_name(platform)
+
+
+def _validate_platforms(platforms: Sequence[PlatformLike]) -> List[PlatformDescriptor]:
+    """Resolve a compare() platform list up front, with clean errors.
+
+    An unknown name raises a ValueError listing the valid platform names; a
+    platform appearing twice raises as well -- both instead of failing deep
+    inside machine construction (or silently diffing a platform against
+    itself)."""
+    if not platforms:
+        raise ValueError("compare needs at least one platform")
+    descriptors: List[PlatformDescriptor] = []
+    seen = set()
+    for platform in platforms:
+        if isinstance(platform, PlatformDescriptor):
+            descriptor = platform
+        else:
+            try:
+                descriptor = platform_by_name(platform)
+            except (KeyError, ValueError):
+                valid = ", ".join(d.name for d in all_platforms())
+                raise ValueError(
+                    f"unknown platform {platform!r}; valid platforms: {valid}"
+                ) from None
+        if descriptor.name in seen:
+            raise ValueError(
+                f"duplicate platform {descriptor.name!r} in compare(); "
+                "each platform may appear at most once"
+            )
+        seen.add(descriptor.name)
+        descriptors.append(descriptor)
+    return descriptors
 
 
 def _resolve_workload(workload: Union[str, Workload]) -> Workload:
@@ -142,6 +175,7 @@ class Session:
             return self._run_smp(workload, spec)
         vendor_driver = self._effective_vendor_driver(spec)
         machine = self.machine(vendor_driver)
+        machine.set_cache_fast_path(spec.fast_cache)
         tool = self.miniperf(vendor_driver)
         run = Run(
             platform=machine.name,
@@ -149,28 +183,41 @@ class Session:
             spec=spec,
             cpu_description=tool.describe(),
         )
+        compile_seconds = 0.0
+        execute_seconds = 0.0
+        analyses_seconds = 0.0
 
         if spec.wants_stat:
             task = machine.create_task(workload.name)
+            start = perf_counter()
             try:
-                run.stat = tool.stat(workload.executable(machine, task, spec),
-                                     task=task, events=spec.events)
+                executable = workload.executable(machine, task, spec)
+                compile_seconds += perf_counter() - start
+                start = perf_counter()
+                run.stat = tool.stat(executable, task=task, events=spec.events)
+                execute_seconds += perf_counter() - start
             except PerfEventOpenError as error:
                 run.errors["stat"] = str(error)
                 run.failures["stat"] = error
 
         if spec.wants_sampling:
             task = machine.create_task(workload.name)
+            start = perf_counter()
             try:
+                executable = workload.executable(machine, task, spec)
+                compile_seconds += perf_counter() - start
+                start = perf_counter()
                 run.recording = tool.record(
-                    workload.executable(machine, task, spec),
+                    executable,
                     task=task, events=spec.events,
                     sample_period=spec.sample_period,
                 )
+                execute_seconds += perf_counter() - start
             except (SamplingNotSupportedError, PerfEventOpenError) as error:
                 run.errors["sampling"] = str(error)
                 run.failures["sampling"] = error
             if run.recording is not None:
+                start = perf_counter()
                 if "hotspots" in spec.analyses:
                     run.hotspots = tool.hotspots(run.recording)
                 if "flamegraph" in spec.analyses:
@@ -178,6 +225,7 @@ class Session:
                         run.recording.samples, weight="samples")
                     run.flame_instructions = build_flame_graph(
                         run.recording.samples, weight="instructions")
+                analyses_seconds += perf_counter() - start
 
         if spec.wants_roofline:
             if not workload.supports_roofline:
@@ -188,9 +236,13 @@ class Session:
             else:
                 # Resolve the session-level vendor-driver default before the
                 # workload builds its own (fresh) roofline machines.
+                start = perf_counter()
                 run.roofline = workload.roofline(
                     self.descriptor, spec.replace(vendor_driver=vendor_driver))
+                analyses_seconds += perf_counter() - start
 
+        run.timings = {"compile": compile_seconds, "execute": execute_seconds,
+                       "analyses": analyses_seconds}
         return run
 
     # -- SMP runs ------------------------------------------------------------------------
@@ -228,6 +280,9 @@ class Session:
             cpus=spec.cpus,
             cpu_description=tool.describe(),
         )
+        compile_seconds = 0.0
+        execute_seconds = 0.0
+        analyses_seconds = 0.0
         try:
             machine = self.smp_machine(spec.cpus, vendor_driver)
         except ValueError as error:
@@ -246,33 +301,45 @@ class Session:
                 run.errors[key] = str(error)
                 run.failures[key] = error
             return run
+        machine.set_cache_fast_path(spec.fast_cache)
 
         if spec.wants_stat:
+            start = perf_counter()
             try:
-                run.stat = smp_stat(machine, self._threads_for(workload, spec),
-                                    events=spec.events)
+                threads = self._threads_for(workload, spec)
+                compile_seconds += perf_counter() - start
+                start = perf_counter()
+                run.stat = smp_stat(machine, threads, events=spec.events)
                 run.schedule = run.stat.schedule
+                execute_seconds += perf_counter() - start
             except PerfEventOpenError as error:
                 run.errors["stat"] = str(error)
                 run.failures["stat"] = error
 
         if spec.wants_sampling:
+            start = perf_counter()
             try:
+                threads = self._threads_for(workload, spec)
+                compile_seconds += perf_counter() - start
+                start = perf_counter()
                 run.recording = smp_record(
-                    machine, self._threads_for(workload, spec),
+                    machine, threads,
                     events=spec.events, sample_period=spec.sample_period,
                 )
                 run.schedule = run.recording.schedule
+                execute_seconds += perf_counter() - start
             except (_SNS, PerfEventOpenError) as error:
                 run.errors["sampling"] = str(error)
                 run.failures["sampling"] = error
             if run.recording is not None:
+                start = perf_counter()
                 if "hotspots" in spec.analyses:
                     run.hotspots = run.recording.hotspots()
                 if "flamegraph" in spec.analyses:
                     run.flame_cycles = run.recording.flame_graph(weight="samples")
                     run.flame_instructions = run.recording.flame_graph(
                         weight="instructions")
+                analyses_seconds += perf_counter() - start
 
         if spec.wants_roofline:
             if not workload.supports_roofline:
@@ -285,12 +352,16 @@ class Session:
                 # aggregated over all harts.  The shared levels (DRAM and
                 # the platform's LLC, which SharedMemorySystem shares across
                 # harts) keep their single-instance bandwidth.
+                start = perf_counter()
                 single = workload.roofline(
                     self.descriptor, spec.replace(vendor_driver=vendor_driver))
                 run.roofline = aggregate_roofline(
                     single, spec.cpus,
                     shared_levels=("DRAM", self.descriptor.caches[-1].name))
+                analyses_seconds += perf_counter() - start
 
+        run.timings = {"compile": compile_seconds, "execute": execute_seconds,
+                       "analyses": analyses_seconds}
         return run
 
     # -- multi-platform comparison ------------------------------------------------------
@@ -298,18 +369,58 @@ class Session:
     @classmethod
     def compare(cls, platforms: Sequence[PlatformLike],
                 workload: Union[str, Workload],
-                spec: Optional[ProfileSpec] = None) -> Comparison:
+                spec: Optional[ProfileSpec] = None,
+                workers: int = 1,
+                workload_params: Optional[Dict[str, object]] = None) -> Comparison:
         """Run *workload*/*spec* on every platform and compare the results.
 
         The first platform is the baseline; flame-graph diffs of every other
         platform against it are computed when both sides produced a cycles
         flame graph.
+
+        Platforms are validated up front: an unknown name raises a
+        ``ValueError`` listing the valid platform names, and a platform
+        appearing twice raises as well (a platform diffed against itself is
+        always a mistake).
+
+        ``workers`` > 1 fans the per-platform runs out over a process pool
+        (:func:`repro.api.executor.run_many`): every run is deterministic
+        and isolated, so the Comparison is bit-identical to the serial one,
+        in platform order, only faster.  Prefer naming the workload by its
+        registry string (with ``workload_params`` for factory parameters)
+        when parallelising -- names always pickle; concrete workload
+        objects must be picklable to cross the process boundary.
         """
-        if not platforms:
-            raise ValueError("compare needs at least one platform")
+        descriptors = _validate_platforms(platforms)
         spec = spec or ProfileSpec()
-        workload = _resolve_workload(workload)
-        runs: List[Run] = [
-            cls(platform).run(workload, spec) for platform in platforms
-        ]
+        if isinstance(workload, str):
+            name: Optional[str] = workload
+            params = dict(workload_params or {})
+            from repro.workloads import registry
+            workload = registry.create(name, **params)
+        else:
+            if workload_params:
+                raise ValueError(
+                    "workload_params apply only when the workload is given "
+                    "by registry name")
+            name, params = None, {}
+            workload = _resolve_workload(workload)
+        if workers > 1:
+            from repro.api.executor import RunRequest, run_many
+            requests = [
+                # A caller-supplied descriptor object travels whole, so a
+                # customized platform is profiled as given; plain names stay
+                # names (resolved registry-side in the worker).
+                RunRequest(platform=(original if isinstance(original,
+                                                            PlatformDescriptor)
+                                     else descriptor.name),
+                           workload=name if name is not None else workload,
+                           params=params, spec=spec)
+                for original, descriptor in zip(platforms, descriptors)
+            ]
+            runs = run_many(requests, workers=workers)
+        else:
+            runs: List[Run] = [
+                cls(descriptor).run(workload, spec) for descriptor in descriptors
+            ]
         return Comparison.build(workload.name, spec, runs)

@@ -58,6 +58,16 @@ class ProfileSpec:
         sample streams and SMP schedules are bit-identical either way (the
         differential suite pins this down); the reference path exists for
         exactly those equivalence runs.
+    block_delta:
+        Whether the engine retires memory-free, branch-free basic blocks
+        through precomputed :class:`~repro.cpu.core.BlockDelta` signatures
+        (default on; fast-dispatch only).  Bit-identical results either
+        way -- the machine falls back to per-op retirement the moment a
+        sampling counter arms; the switch exists for differential runs.
+    fast_cache:
+        Whether the machine's cache hierarchy uses its same-line
+        short-circuits (default on).  Bit-identical results either way;
+        the switch exists for differential runs.
     analyses:
         Which of :data:`ANALYSES` to derive.  ``stat`` counts (no samples);
         ``hotspots`` and ``flamegraph`` need one sampling recording (shared);
@@ -74,6 +84,8 @@ class ProfileSpec:
     repeats: int = 1
     cpus: int = 1
     fast_dispatch: bool = True
+    block_delta: bool = True
+    fast_cache: bool = True
     analyses: Tuple[str, ...] = ("hotspots", "flamegraph")
 
     def __post_init__(self) -> None:
@@ -111,6 +123,26 @@ class ProfileSpec:
     def without_fast_dispatch(self) -> "ProfileSpec":
         """Run compiled kernels on the reference interpreter (differential runs)."""
         return self.replace(fast_dispatch=False)
+
+    def with_block_delta(self, enabled: bool = True) -> "ProfileSpec":
+        return self.replace(block_delta=enabled)
+
+    def without_block_delta(self) -> "ProfileSpec":
+        """Retire every op individually through the batcher (differential runs)."""
+        return self.replace(block_delta=False)
+
+    def with_fast_cache(self, enabled: bool = True) -> "ProfileSpec":
+        return self.replace(fast_cache=enabled)
+
+    def without_fast_cache(self) -> "ProfileSpec":
+        """Walk the full cache hierarchy on every access (differential runs)."""
+        return self.replace(fast_cache=False)
+
+    def without_fast_paths(self) -> "ProfileSpec":
+        """Disable every fast path at once: the reference interpreter with
+        per-op-equivalent retirement and the plain cache walk."""
+        return self.replace(fast_dispatch=False, block_delta=False,
+                            fast_cache=False)
 
     def with_analyses(self, *analyses: str) -> "ProfileSpec":
         return self.replace(analyses=tuple(analyses))
@@ -159,5 +191,7 @@ class ProfileSpec:
             "repeats": self.repeats,
             "cpus": self.cpus,
             "fast_dispatch": self.fast_dispatch,
+            "block_delta": self.block_delta,
+            "fast_cache": self.fast_cache,
             "analyses": list(self.analyses),
         }

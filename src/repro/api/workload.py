@@ -147,7 +147,8 @@ class CompiledKernelWorkload:
                 args = list(self.args_builder(memory))
                 engine = ExecutionEngine(module, machine, target, task=task,
                                          memory=memory,
-                                         fast_dispatch=spec.fast_dispatch)
+                                         fast_dispatch=spec.fast_dispatch,
+                                         block_delta=spec.block_delta)
                 engine.run(self.function, args)
 
         return run
@@ -162,6 +163,8 @@ class CompiledKernelWorkload:
             descriptor,
             enable_vectorizer=spec.enable_vectorizer,
             vendor_driver=spec.vendor_driver is not False,
+            block_delta=spec.block_delta,
+            fast_cache=spec.fast_cache,
         )
         return runner.run_source(self.source, self.function, self.args_builder,
                                  repeats=spec.repeats, filename=self.filename)

@@ -101,7 +101,19 @@ class _CacheSet:
 
 
 class Cache:
-    """A single set-associative, write-allocate, write-back cache level."""
+    """A single set-associative, write-allocate, write-back cache level.
+
+    Fast path: the set/tag split is precomputed as shift/mask operations
+    (line size is a power of two by construction; nearly every modelled
+    geometry also has a power-of-two set count), and the cache remembers the
+    *last line it touched* (hit or fill).  A repeated access to that line is
+    guaranteed to hit -- nothing can have evicted it in between, because
+    every other hit or fill would have retargeted the memo -- and its LRU
+    move is a no-op (the line is already most-recently-used), so the access
+    short-circuits to a hit counter bump.  The short-circuit is therefore
+    bit-exact: hits, misses, LRU order, dirty bits and writebacks are
+    identical with ``fast_path`` off.
+    """
 
     def __init__(self, config: CacheConfig):
         self.config = config
@@ -109,16 +121,37 @@ class Cache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        self.fast_path = True
+        self._line_shift = config.line_bytes.bit_length() - 1
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1) == 0:
+            self._set_mask: Optional[int] = num_sets - 1
+            self._set_shift = num_sets.bit_length() - 1
+        else:
+            self._set_mask = None
+            self._set_shift = 0
+        # Last-touched-line memo (absolute line number, its set bucket and
+        # tag); -1 means no line touched yet.
+        self._mru_line = -1
+        self._mru_bucket: Optional[_CacheSet] = None
+        self._mru_tag = 0
 
-    def _set_for(self, address: int) -> Tuple[_CacheSet, int]:
-        line = address // self.config.line_bytes
-        set_index = line % self.config.num_sets
-        tag = line // self.config.num_sets
+    def _bucket_for(self, line: int) -> Tuple[_CacheSet, int]:
+        if self._set_mask is not None:
+            set_index = line & self._set_mask
+            tag = line >> self._set_shift
+        else:
+            num_sets = self.config.num_sets
+            set_index = line % num_sets
+            tag = line // num_sets
         bucket = self._sets.get(set_index)
         if bucket is None:
             bucket = _CacheSet(self.config.associativity)
             self._sets[set_index] = bucket
         return bucket, tag
+
+    def _set_for(self, address: int) -> Tuple[_CacheSet, int]:
+        return self._bucket_for(address >> self._line_shift)
 
     def access(self, address: int, is_store: bool) -> bool:
         """Access one line; return True on hit.
@@ -126,9 +159,18 @@ class Cache:
         On a miss the line is *not* filled here -- the hierarchy decides how
         far down the miss travels and calls :meth:`fill` on the way back up.
         """
-        bucket, tag = self._set_for(address)
+        line = address >> self._line_shift
+        if line == self._mru_line and self.fast_path:
+            self.hits += 1
+            if is_store:
+                self._mru_bucket.dirty[self._mru_tag] = True
+            return True
+        bucket, tag = self._bucket_for(line)
         if bucket.lookup(tag):
             self.hits += 1
+            self._mru_line = line
+            self._mru_bucket = bucket
+            self._mru_tag = tag
             if is_store:
                 bucket.mark_dirty(tag)
             return True
@@ -137,8 +179,12 @@ class Cache:
 
     def fill(self, address: int, is_store: bool) -> bool:
         """Fill the line containing *address*; return True if a dirty line was evicted."""
-        bucket, tag = self._set_for(address)
+        line = address >> self._line_shift
+        bucket, tag = self._bucket_for(line)
         evicted = bucket.insert(tag, dirty=is_store)
+        self._mru_line = line
+        self._mru_bucket = bucket
+        self._mru_tag = tag
         if evicted is not None and evicted[1]:
             self.writebacks += 1
             return True
@@ -158,7 +204,128 @@ class Cache:
         self.writebacks = 0
 
 
-class CacheHierarchy:
+class FastPathHierarchy:
+    """Shared hierarchy-level fast path: the walk entry points of every
+    hierarchy flavour (single-hart :class:`CacheHierarchy`, per-hart
+    :class:`repro.smp.memory.HartCacheHierarchy`).
+
+    Subclasses provide ``_access_line`` (the actual level walk), a ``levels``
+    attribute/property, ``fast_path`` and the precomputed ``_l1`` /
+    ``_line_shift`` / ``_l1_hit`` state (see :meth:`_init_fast_path`).  The
+    short-circuit logic then lives in exactly one place, so the two
+    hierarchies can never drift apart on the invariant the differential
+    suites guard.
+    """
+
+    def _init_fast_path(self) -> None:
+        """Precompute the fast-path state; call once the levels exist."""
+        self.fast_path = True
+        l1 = self.levels[0]
+        self._l1 = l1
+        self._line_shift = l1.config.line_bytes.bit_length() - 1
+        # The canonical result of a repeated single-line L1 hit.  After any
+        # access the accessed line is resident in L1 (the hierarchy is
+        # inclusive: hits below L1 fill the upper levels on the way back),
+        # so when the next single-line access touches L1's last-touched line
+        # it must hit L1 -- with exactly this result.  The instance is
+        # shared; consumers only read it.
+        self._l1_hit = AccessResult(
+            hit_level=l1.config.name, latency=l1.config.hit_latency,
+            l1_miss=False, llc_miss=False, dram_bytes=0,
+        )
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Toggle the same-line short-circuits (hierarchy and per level).
+
+        Results are bit-identical either way; the switch exists so
+        differential suites can run the plain walk as the reference.
+        """
+        self.fast_path = enabled
+        for cache in self.levels:
+            cache.fast_path = enabled
+
+    def access(self, address: int, size_bytes: int, is_store: bool) -> AccessResult:
+        """Walk one memory access through the hierarchy.
+
+        Returns an aggregate :class:`AccessResult`; when the access spans
+        several cache lines the worst latency is reported (the lines are
+        fetched in parallel by the miss handling hardware) and DRAM bytes are
+        summed.  A single-line access to the line L1 touched last
+        short-circuits the walk entirely (see :class:`Cache`).
+        """
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        shift = self._line_shift
+        first = address >> shift
+        last = (address + size_bytes - 1) >> shift
+        if first == last:
+            l1 = self._l1
+            if first == l1._mru_line and self.fast_path:
+                l1.hits += 1
+                if is_store:
+                    l1._mru_bucket.dirty[l1._mru_tag] = True
+                return self._l1_hit
+            return self._access_line(first << shift, is_store)
+        worst: Optional[AccessResult] = None
+        total_dram = 0
+        l1_miss = False
+        llc_miss = False
+        for line_index in range(first, last + 1):
+            result = self._access_line(line_index << shift, is_store)
+            total_dram += result.dram_bytes
+            l1_miss = l1_miss or result.l1_miss
+            llc_miss = llc_miss or result.llc_miss
+            if worst is None or result.latency > worst.latency:
+                worst = result
+        assert worst is not None
+        return AccessResult(
+            hit_level=worst.hit_level,
+            latency=worst.latency,
+            l1_miss=l1_miss,
+            llc_miss=llc_miss,
+            dram_bytes=total_dram,
+            levels_missed=worst.levels_missed,
+        )
+
+    def access_lines(self, accesses) -> List[AccessResult]:
+        """Batched :meth:`access`: one call for a stream of resolved accesses.
+
+        *accesses* is a sequence of ``(address, size_bytes, is_store)``
+        tuples -- typically the addressed memory ops of one engine flush, in
+        program order.  Equivalent to calling :meth:`access` per element (the
+        walk order, and therefore every hit/miss/LRU/latency outcome, is the
+        same); the batched loop exists so spatially local streams pay the
+        call overhead once and ride the same-line short-circuit in a tight
+        loop.
+        """
+        out: List[AccessResult] = []
+        append = out.append
+        shift = self._line_shift
+        l1 = self._l1
+        fast = self.fast_path
+        l1_hit = self._l1_hit
+        access_line = self._access_line
+        for address, size_bytes, is_store in accesses:
+            if size_bytes <= 0:
+                raise ValueError("size_bytes must be positive")
+            first = address >> shift
+            if first == (address + size_bytes - 1) >> shift:
+                if fast and first == l1._mru_line:
+                    l1.hits += 1
+                    if is_store:
+                        l1._mru_bucket.dirty[l1._mru_tag] = True
+                    append(l1_hit)
+                else:
+                    append(access_line(first << shift, is_store))
+            else:
+                append(self.access(address, size_bytes, is_store))
+        return out
+
+    def _access_line(self, address: int, is_store: bool) -> AccessResult:
+        raise NotImplementedError
+
+
+class CacheHierarchy(FastPathHierarchy):
     """An inclusive multi-level cache hierarchy in front of DRAM.
 
     Accesses are performed at cache-line granularity; an access spanning
@@ -174,44 +341,11 @@ class CacheHierarchy:
         self.dram_read_bytes = 0
         self.dram_write_bytes = 0
         self.dram_accesses = 0
+        self._init_fast_path()
 
     @property
     def line_bytes(self) -> int:
         return self.levels[0].config.line_bytes
-
-    def access(self, address: int, size_bytes: int, is_store: bool) -> AccessResult:
-        """Walk one memory access through the hierarchy.
-
-        Returns an aggregate :class:`AccessResult`; when the access spans
-        several cache lines the worst latency is reported (the lines are
-        fetched in parallel by the miss handling hardware) and DRAM bytes are
-        summed.
-        """
-        if size_bytes <= 0:
-            raise ValueError("size_bytes must be positive")
-        line = self.line_bytes
-        first = address // line
-        last = (address + size_bytes - 1) // line
-        worst: Optional[AccessResult] = None
-        total_dram = 0
-        l1_miss = False
-        llc_miss = False
-        for line_index in range(first, last + 1):
-            result = self._access_line(line_index * line, is_store)
-            total_dram += result.dram_bytes
-            l1_miss = l1_miss or result.l1_miss
-            llc_miss = llc_miss or result.llc_miss
-            if worst is None or result.latency > worst.latency:
-                worst = result
-        assert worst is not None
-        return AccessResult(
-            hit_level=worst.hit_level,
-            latency=worst.latency,
-            l1_miss=l1_miss,
-            llc_miss=llc_miss,
-            dram_bytes=total_dram,
-            levels_missed=worst.levels_missed,
-        )
 
     def _access_line(self, address: int, is_store: bool) -> AccessResult:
         latency = 0

@@ -117,6 +117,58 @@ class CoreConfig:
         return self.latencies.get(opclass, 1)
 
 
+class BlockDelta:
+    """Precomputed retirement signature of one memory-free, branch-free block.
+
+    A basic block that retires no memory accesses and no conditional branches
+    costs the same fractional cycles on every execution: nothing it does
+    depends on cache or predictor state.  The engine therefore lowers such a
+    block once per ``(block, core config)``, precomputes the per-op cost
+    sequence and the aggregate event pulses, and retires every subsequent
+    execution through :meth:`CoreTimingModel.retire_block_delta` (or as one
+    sentinel in a :meth:`CoreTimingModel.retire_batch` stream) instead of op
+    by op.
+
+    Bit-exactness: the integer cycles a cost sequence produces depend only on
+    the incoming fractional-cycle remainder, so the delta keeps the exact
+    per-op cost list and replays the remainder walk -- and memoizes the
+    ``remainder -> (cycles, new remainder)`` map, which converges to a handful
+    of entries inside any loop.  Event pulse totals are constant and
+    precomputed outright.  When a sampling counter arms, the machine expands
+    the delta back into its per-op stream (``ops``), so overflow interrupts
+    observe precise pc/cycle state.
+    """
+
+    __slots__ = ("ops", "costs", "instructions", "int_ops", "flops",
+                 "vector_ops", "frontend_total", "backend_total",
+                 "frontend_pulses", "backend_pulses", "last_pc", "walk_cache")
+
+    #: Bound on the memoized remainder walk (remainders cycle quickly; the
+    #: cap only guards pathological cost sequences).
+    WALK_CACHE_LIMIT = 1024
+
+    def __init__(self, ops: Tuple[MachineOp, ...], costs: Tuple[float, ...],
+                 int_ops: int, flops: int, vector_ops: int,
+                 frontend_total: float, backend_total: float,
+                 frontend_pulses: int, backend_pulses: int, last_pc: int):
+        self.ops = ops
+        self.costs = costs
+        self.instructions = len(ops)
+        self.int_ops = int_ops
+        self.flops = flops
+        self.vector_ops = vector_ops
+        self.frontend_total = frontend_total
+        self.backend_total = backend_total
+        self.frontend_pulses = frontend_pulses
+        self.backend_pulses = backend_pulses
+        self.last_pc = last_pc
+        self.walk_cache: Dict[float, Tuple[int, float]] = {}
+
+    def __repr__(self) -> str:
+        return (f"BlockDelta(ops={self.instructions}, "
+                f"cost={sum(self.costs):.3f}cyc)")
+
+
 @dataclass
 class RetireResult:
     """What retiring one machine op cost."""
@@ -151,6 +203,11 @@ class CoreTimingModel:
         self._cycle_remainder = 0.0
         self.frontend_stall_cycles = 0.0
         self.backend_stall_cycles = 0.0
+        # Batched-retirement dispatch tables, built lazily on first use (the
+        # config is immutable after construction): per-opclass cost/flag
+        # rows, and a mem-latency -> cost memo shared by all memory classes.
+        self._batch_info: Optional[list] = None
+        self._mem_cost_cache: Dict[int, float] = {}
 
     # -- to be provided by subclasses ------------------------------------------
 
@@ -207,7 +264,104 @@ class CoreTimingModel:
             dram_bytes=mem.dram_bytes if mem else 0,
         )
 
-    def retire_batch(self, ops: Sequence[MachineOp]) -> int:
+    # -- batched retirement -----------------------------------------------------
+
+    def _cost_row(self, op: MachineOp, mispredicted: bool = False) -> Tuple:
+        """``(total, frontend, backend, frontend_pulse, backend_pulse)`` for
+        one op retired with no memory result -- the same arithmetic, float op
+        for float op, as the per-op path, frozen into a table row."""
+        base, frontend, backend = self._op_cost(op, None, mispredicted)
+        total = base + frontend + backend
+        fp = int(frontend) if frontend >= 1.0 else 0
+        bp = int(backend) if backend >= 1.0 else 0
+        return (total, frontend, backend, fp, bp)
+
+    def _build_batch_info(self) -> list:
+        """Per-opclass dispatch rows for :meth:`retire_batch`.
+
+        Indexed by ``OpClass.<member>.index``.  Row layouts:
+
+        * plain ops      -- ``(0, cost_row, flop_factor, is_int, is_vector)``;
+          the cost is a constant of the core config.
+        * memory ops     -- ``(1, addressless_cost_row, is_load, is_store,
+          is_vector)``; the addressed cost depends only on the access
+          latency and is memoized in ``_mem_cost_cache``.
+        * branches       -- ``(2, rows[taken][mispredicted])``.
+        """
+        table: list = [None] * len(OpClass)
+        for opclass in OpClass:
+            if opclass in MEMORY_OP_CLASSES:
+                row = (1,
+                       self._cost_row(MachineOp(opclass)),
+                       opclass is OpClass.LOAD or opclass is OpClass.VECTOR_LOAD,
+                       opclass is OpClass.STORE or opclass is OpClass.VECTOR_STORE,
+                       opclass in VECTOR_OP_CLASSES)
+            elif opclass is OpClass.BRANCH:
+                rows = [
+                    [self._cost_row(MachineOp(OpClass.BRANCH, taken=taken),
+                                    mispredicted)
+                     for mispredicted in (False, True)]
+                    for taken in (False, True)
+                ]
+                row = (2, rows)
+            else:
+                if opclass in (OpClass.FP_FMA, OpClass.VECTOR_FMA):
+                    flop_factor = 2
+                elif opclass in FLOP_OP_CLASSES:
+                    flop_factor = 1
+                else:
+                    flop_factor = 0
+                is_int = opclass in (OpClass.INT_ALU, OpClass.INT_MUL,
+                                     OpClass.INT_DIV, OpClass.VECTOR_ALU)
+                row = (0, self._cost_row(MachineOp(opclass)), flop_factor,
+                       is_int, opclass in VECTOR_OP_CLASSES)
+            table[opclass.index] = row
+        return table
+
+    def block_delta_for(self, ops: Sequence[MachineOp]) -> BlockDelta:
+        """Precompute the :class:`BlockDelta` of a memory-free, branch-free
+        op stream (one basic block's constant retirement signature)."""
+        costs = []
+        int_ops = flops = vector_ops = 0
+        frontend_total = 0.0
+        backend_total = 0.0
+        frontend_pulses = backend_pulses = 0
+        last_pc = 0
+        for op in ops:
+            if op.opclass in MEMORY_OP_CLASSES or op.opclass is OpClass.BRANCH:
+                raise ValueError(
+                    "block deltas require memory-free, branch-free blocks "
+                    f"(got a {op.opclass.value} op)")
+            base, frontend, backend = self._op_cost(op, None, False)
+            costs.append(base + frontend + backend)
+            frontend_total += frontend
+            backend_total += backend
+            if frontend >= 1.0:
+                frontend_pulses += int(frontend)
+            if backend >= 1.0:
+                backend_pulses += int(backend)
+            flops += op.flop_count
+            int_ops += op.int_op_count
+            if op.is_vector:
+                vector_ops += 1
+            if op.pc:
+                last_pc = op.pc
+        return BlockDelta(tuple(ops), tuple(costs), int_ops, flops,
+                          vector_ops, frontend_total, backend_total,
+                          frontend_pulses, backend_pulses, last_pc)
+
+    def retire_block_delta(self, delta: BlockDelta) -> int:
+        """Retire one execution of a precomputed block in a single call.
+
+        Equivalent to retiring ``delta.ops`` through :meth:`retire_batch`:
+        the remainder walk reuses the delta's memoized ``remainder ->
+        (cycles, remainder)`` map and event pulses are published from the
+        precomputed aggregates.  Returns the integer cycles consumed.
+        """
+        return self.retire_batch((delta,))
+
+    def retire_batch(self, ops: Sequence[object],
+                     mem_results: Optional[Sequence[AccessResult]] = None) -> int:
         """Retire a chunk of ops with coalesced event publication.
 
         Microarchitectural state (cache hierarchy, branch predictor, the
@@ -221,12 +375,24 @@ class CoreTimingModel:
         :meth:`~repro.platforms.machine.Machine.execute_batch` enforces that
         precondition by falling back to per-op retirement while sampling is
         armed.  Returns the total integer cycles the batch consumed.
+
+        *ops* may contain :class:`BlockDelta` sentinels (a whole precomputed
+        block execution each); *mem_results* optionally supplies the
+        :class:`~repro.cpu.cache.AccessResult` sequence of the batch's
+        addressed memory ops, as produced by the hierarchy's batched
+        ``access_lines`` entry point (the accesses are replayed in stream
+        order either way, so cache state and results are identical).
         """
-        cfg = self.config
+        table = self._batch_info
+        if table is None:
+            table = self._build_batch_info()
+            self._batch_info = table
         access = self.hierarchy.access
         predictor_update = self.predictor.update
+        mem_costs = self._mem_cost_cache
         op_cost = self._op_cost
         remainder = self._cycle_remainder
+        walk_limit = BlockDelta.WALK_CACHE_LIMIT
 
         count = 0
         cycles_total = 0
@@ -239,36 +405,72 @@ class CoreTimingModel:
         dram_read = dram_write = 0
         branches = branch_misses = 0
         flops = int_ops = vector_ops = 0
+        mem_index = 0
 
         for op in ops:
+            if op.__class__ is BlockDelta:
+                walk_cache = op.walk_cache
+                walked = walk_cache.get(remainder)
+                if walked is None:
+                    r = remainder
+                    total_cycles = 0
+                    for cost in op.costs:
+                        r += cost
+                        c = int(r)
+                        r -= c
+                        total_cycles += c
+                    if len(walk_cache) < walk_limit:
+                        walk_cache[remainder] = (total_cycles, r)
+                    remainder = r
+                else:
+                    total_cycles, remainder = walked
+                cycles_total += total_cycles
+                count += op.instructions
+                int_ops += op.int_ops
+                flops += op.flops
+                vector_ops += op.vector_ops
+                frontend_total += op.frontend_total
+                backend_total += op.backend_total
+                frontend_pulses += op.frontend_pulses
+                backend_pulses += op.backend_pulses
+                continue
+
             count += 1
-            opclass = op.opclass
-            mem: Optional[AccessResult] = None
-            mispredicted = False
-            is_memory = opclass in MEMORY_OP_CLASSES
-            if is_memory and op.address is not None and op.size_bytes > 0:
-                mem = access(op.address, op.size_bytes, op.is_store)
-            if opclass is OpClass.BRANCH:
-                mispredicted = predictor_update(op.pc, op.target, op.taken)
-
-            base, frontend, backend = op_cost(op, mem, mispredicted)
-            frontend_total += frontend
-            backend_total += backend
-            total = base + frontend + backend
-            remainder += total
-            cycles = int(remainder)
-            remainder -= cycles
-            cycles_total += cycles
-
-            is_load = opclass is OpClass.LOAD or opclass is OpClass.VECTOR_LOAD
-            is_store = opclass is OpClass.STORE or opclass is OpClass.VECTOR_STORE
-            if is_load:
-                loads += 1
-            elif is_store:
-                stores += 1
-            if is_memory:
+            info = table[op.opclass.index]
+            kind = info[0]
+            if kind == 0:
+                total, frontend, backend, fp, bp = info[1]
+                flop_factor = info[2]
+                if flop_factor:
+                    flops += flop_factor * op.lanes
+                elif info[3]:
+                    int_ops += op.lanes
+                if info[4]:
+                    vector_ops += 1
+            elif kind == 1:
+                is_load = info[2]
+                is_store = info[3]
+                if is_load:
+                    loads += 1
+                else:
+                    stores += 1
                 cache_refs += 1
-                if mem is not None:
+                address = op.address
+                if address is not None and op.size_bytes > 0:
+                    if mem_results is None:
+                        mem = access(address, op.size_bytes, is_store)
+                    else:
+                        mem = mem_results[mem_index]
+                        mem_index += 1
+                    cached = mem_costs.get(mem.latency)
+                    if cached is None:
+                        base, frontend, backend = op_cost(op, mem, False)
+                        cached = (base + frontend + backend, backend,
+                                  int(backend) if backend >= 1.0 else 0)
+                        mem_costs[mem.latency] = cached
+                    total, backend, bp = cached
+                    frontend = 0.0
+                    fp = 0
                     if mem.l1_miss:
                         if is_load:
                             load_misses += 1
@@ -276,31 +478,31 @@ class CoreTimingModel:
                             store_misses += 1
                     if mem.llc_miss:
                         llc_misses += 1
-                    if mem.dram_bytes:
+                    dram = mem.dram_bytes
+                    if dram:
                         if is_store:
-                            dram_write += mem.dram_bytes
+                            dram_write += dram
                         else:
-                            dram_read += mem.dram_bytes
-
-            if opclass is OpClass.BRANCH:
+                            dram_read += dram
+                else:
+                    total, frontend, backend, fp, bp = info[1]
+                if info[4]:
+                    vector_ops += 1
+            else:
+                mispredicted = predictor_update(op.pc, op.target, op.taken)
                 branches += 1
                 if mispredicted:
                     branch_misses += 1
+                total, frontend, backend, fp, bp = info[1][op.taken][mispredicted]
 
-            if opclass is OpClass.FP_FMA or opclass is OpClass.VECTOR_FMA:
-                flops += 2 * op.lanes
-            elif opclass in FLOP_OP_CLASSES:
-                flops += op.lanes
-            if (opclass is OpClass.INT_ALU or opclass is OpClass.INT_MUL
-                    or opclass is OpClass.INT_DIV or opclass is OpClass.VECTOR_ALU):
-                int_ops += op.lanes
-            if opclass in VECTOR_OP_CLASSES:
-                vector_ops += 1
-
-            if frontend >= 1.0:
-                frontend_pulses += int(frontend)
-            if backend >= 1.0:
-                backend_pulses += int(backend)
+            frontend_total += frontend
+            backend_total += backend
+            frontend_pulses += fp
+            backend_pulses += bp
+            remainder += total
+            cycles = int(remainder)
+            remainder -= cycles
+            cycles_total += cycles
 
         self._cycle_remainder = remainder
         self.total_cycles += cycles_total

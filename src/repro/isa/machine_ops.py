@@ -42,6 +42,14 @@ class OpClass(enum.Enum):
     NOP = "nop"
 
 
+# Dense per-member index for table dispatch: the batched retirement path
+# looks op metadata up in a list instead of hashing enum members, which is
+# measurably cheaper on the retire hot loop.
+for _index, _member in enumerate(OpClass):
+    _member.index = _index
+del _index, _member
+
+
 #: Operation classes that access the memory hierarchy.
 MEMORY_OP_CLASSES = frozenset(
     {OpClass.LOAD, OpClass.STORE, OpClass.VECTOR_LOAD, OpClass.VECTOR_STORE}

@@ -59,6 +59,12 @@ class PerfEventOpenError(OSError):
         super().__init__(message)
         self.errno_name = errno_name
 
+    def __reduce__(self):
+        # A Run carries its failures across process boundaries (the parallel
+        # run executor pickles Runs); rebuild with both constructor args --
+        # the OSError default would replay only ``args`` and lose one.
+        return (type(self), (self.errno_name, self.args[0]))
+
 
 @dataclass(frozen=True)
 class PerfEventAttr:

@@ -13,7 +13,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.cpu.branch import GsharePredictor
 from repro.cpu.cache import CacheHierarchy
-from repro.cpu.core import CoreTimingModel, InOrderCore, OutOfOrderCore
+from repro.cpu.core import BlockDelta, CoreTimingModel, InOrderCore, OutOfOrderCore
 from repro.cpu.events import EventBus, HwEvent
 from repro.isa.csr import CsrFile
 from repro.isa.machine_ops import MachineOp
@@ -96,6 +96,12 @@ class Machine:
         #: sampling counter forces every hart onto the per-op path (the
         #: conservative reading of "no interrupt may be deferred").
         self._sampling_probe = self.pmu.sampling_active
+        #: Per-(block, core-config) cache of precomputed
+        #: :class:`~repro.cpu.core.BlockDelta` signatures.  Keyed by the IR
+        #: basic block; the machine *is* the core-config axis, and it outlives
+        #: the per-run execution engines (a Session caches its machines), so
+        #: repeated runs predecode each eligible block's delta exactly once.
+        self.block_deltas: Dict[object, BlockDelta] = {}
 
     # -- identity & capability ----------------------------------------------------
 
@@ -139,8 +145,9 @@ class Machine:
             task.set_pc(op.pc)
         return self.core.retire(op)
 
-    def execute_batch(self, ops: Sequence[MachineOp],
-                      task: Optional[Task] = None) -> None:
+    def execute_batch(self, ops: Sequence[object],
+                      task: Optional[Task] = None,
+                      mem_accesses: Optional[Sequence] = None) -> None:
         """Retire a chunk of machine ops (the engine's batched accounting).
 
         While the sampling probe reports an armed sampling counter (on this
@@ -154,6 +161,20 @@ class Machine:
         :meth:`~repro.cpu.core.CoreTimingModel.retire_batch`, which leaves
         final counter values and bus totals bit-identical while removing the
         per-op publication fan-out.
+
+        *ops* may contain :class:`~repro.cpu.core.BlockDelta` sentinels --
+        whole precomputed block executions.  On the per-op (sampling) path
+        each sentinel is expanded back into its op stream, so interrupts see
+        exactly the per-op state; on the batched path it is retired as one
+        aggregate by :meth:`~repro.cpu.core.CoreTimingModel.retire_batch`.
+
+        *mem_accesses* optionally carries the batch's addressed memory
+        accesses as ``(address, size_bytes, is_store)`` tuples in stream
+        order (the engine collects them while emitting ops).  The batched
+        path resolves them in one :meth:`~repro.cpu.cache.CacheHierarchy.
+        access_lines` call; the per-op path ignores them (each
+        :meth:`~repro.cpu.core.CoreTimingModel.retire` performs its own
+        access), so the hierarchy is walked exactly once either way.
         """
         if not ops:
             return
@@ -162,24 +183,46 @@ class Machine:
             if task is not None:
                 set_pc = task.set_pc
                 for op in ops:
-                    if op.pc:
-                        set_pc(op.pc)
-                    retire(op)
+                    if op.__class__ is BlockDelta:
+                        for sub in op.ops:
+                            if sub.pc:
+                                set_pc(sub.pc)
+                            retire(sub)
+                    else:
+                        if op.pc:
+                            set_pc(op.pc)
+                        retire(op)
             else:
                 for op in ops:
-                    retire(op)
+                    if op.__class__ is BlockDelta:
+                        for sub in op.ops:
+                            retire(sub)
+                    else:
+                        retire(op)
             return
         if task is not None:
             # No interrupt can fire mid-batch; only the final pc is observable.
             for op in reversed(ops):
-                if op.pc:
-                    task.set_pc(op.pc)
+                pc = op.last_pc if op.__class__ is BlockDelta else op.pc
+                if pc:
+                    task.set_pc(pc)
                     break
-        self.core.retire_batch(ops)
+        mem_results = None
+        if mem_accesses:
+            mem_results = self.hierarchy.access_lines(mem_accesses)
+        self.core.retire_batch(ops, mem_results)
 
     def set_sampling_probe(self, probe) -> None:
         """Install a system-wide sampling predicate (see ``_sampling_probe``)."""
         self._sampling_probe = probe
+
+    def set_cache_fast_path(self, enabled: bool) -> None:
+        """Toggle the memory hierarchy's same-line short-circuits.
+
+        Bit-identical results either way; differential suites turn the fast
+        path off to run the plain per-level walk as the reference.
+        """
+        self.hierarchy.set_fast_path(enabled)
 
     def set_privilege_mode(self, mode: PrivilegeMode) -> None:
         self.core.set_privilege_mode(mode)

@@ -156,7 +156,9 @@ class RooflineRunner:
                  vector_width: Optional[int] = None,
                  enable_vectorizer: bool = True,
                  instrument_first: bool = False,
-                 vendor_driver: bool = True):
+                 vendor_driver: bool = True,
+                 block_delta: bool = True,
+                 fast_cache: bool = True):
         self.descriptor = descriptor
         self.roofs = roofs or theoretical_roofs(descriptor)
         self.vector_width = (
@@ -167,6 +169,11 @@ class RooflineRunner:
         # The two-phase flow is hardware-agnostic (no PMU events are opened),
         # but the machines it builds should still model the configured kernel.
         self.vendor_driver = vendor_driver
+        # Fast-path toggles for the machines/engines the runner builds
+        # (bit-identical results; differential suites turn them off so the
+        # roofline phases also run against the reference paths).
+        self.block_delta = block_delta
+        self.fast_cache = fast_cache
 
     # -- compilation -------------------------------------------------------------------------
 
@@ -185,6 +192,7 @@ class RooflineRunner:
     def _execute(self, module: Module, function: str, args_builder: ArgsBuilder,
                  instrumented: bool, repeats: int) -> (Machine, RooflineRuntime):
         machine = Machine(self.descriptor, vendor_driver=self.vendor_driver)
+        machine.set_cache_fast_path(self.fast_cache)
         target = target_for_platform(self.descriptor)
         task = machine.create_task(function)
         runtime = RooflineRuntime(module, machine, instrumented=instrumented)
@@ -192,7 +200,8 @@ class RooflineRunner:
             memory = Memory()
             args = list(args_builder(memory))
             engine = ExecutionEngine(module, machine, target, task=task,
-                                     memory=memory, external_handlers=[runtime])
+                                     memory=memory, external_handlers=[runtime],
+                                     block_delta=self.block_delta)
             engine.run(function, args)
         return machine, runtime
 

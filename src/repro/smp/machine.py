@@ -175,6 +175,12 @@ class MultiHartMachine:
         """True when any hart has a running counter with sampling armed."""
         return any(hart.pmu.sampling_active() for hart in self.harts)
 
+    def set_cache_fast_path(self, enabled: bool) -> None:
+        """Toggle the same-line short-circuits on every hart's hierarchy
+        (private levels and the shared LLC alike); bit-identical either way."""
+        for hart in self.harts:
+            hart.set_cache_fast_path(enabled)
+
     def create_task(self, name: str, hart_id: int = 0) -> Task:
         return self.harts[hart_id].create_task(name)
 

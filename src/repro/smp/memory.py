@@ -22,7 +22,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
-from repro.cpu.cache import AccessResult, Cache, CacheConfig, MemoryConfig
+from repro.cpu.cache import (
+    AccessResult,
+    Cache,
+    CacheConfig,
+    FastPathHierarchy,
+    MemoryConfig,
+)
 
 
 class MemoryController:
@@ -89,13 +95,17 @@ class MemoryController:
         }
 
 
-class HartCacheHierarchy:
+class HartCacheHierarchy(FastPathHierarchy):
     """One hart's view of the SMP memory system.
 
     Walks accesses through the hart's private levels, then the shared levels,
-    then the contended memory controller -- same inclusive fill discipline as
+    then the contended memory controller -- same inclusive fill discipline
+    (and same inherited fast-path entry points) as
     :class:`~repro.cpu.cache.CacheHierarchy`, so a single-hart SMP machine
     produces identical hit/miss/latency sequences to the single-hart model.
+    The private-L1 memo is safe per hart; in the degenerate single-level
+    case where "L1" is the shared LLC, the level's last-touched-line memo
+    asserts residency regardless of which hart touched it last.
     """
 
     def __init__(self, hart_id: int, private_configs: List[CacheConfig],
@@ -108,41 +118,16 @@ class HartCacheHierarchy:
         self.dram_read_bytes = 0
         self.dram_write_bytes = 0
         self.dram_accesses = 0
+        self._levels = self.private_levels + self.shared_levels
+        self._init_fast_path()
 
     @property
     def levels(self) -> List[Cache]:
-        return self.private_levels + self.shared_levels
+        return self._levels
 
     @property
     def line_bytes(self) -> int:
-        return self.levels[0].config.line_bytes
-
-    def access(self, address: int, size_bytes: int, is_store: bool) -> AccessResult:
-        if size_bytes <= 0:
-            raise ValueError("size_bytes must be positive")
-        line = self.line_bytes
-        first = address // line
-        last = (address + size_bytes - 1) // line
-        worst: Optional[AccessResult] = None
-        total_dram = 0
-        l1_miss = False
-        llc_miss = False
-        for line_index in range(first, last + 1):
-            result = self._access_line(line_index * line, is_store)
-            total_dram += result.dram_bytes
-            l1_miss = l1_miss or result.l1_miss
-            llc_miss = llc_miss or result.llc_miss
-            if worst is None or result.latency > worst.latency:
-                worst = result
-        assert worst is not None
-        return AccessResult(
-            hit_level=worst.hit_level,
-            latency=worst.latency,
-            l1_miss=l1_miss,
-            llc_miss=llc_miss,
-            dram_bytes=total_dram,
-            levels_missed=worst.levels_missed,
-        )
+        return self._levels[0].config.line_bytes
 
     def _access_line(self, address: int, is_store: bool) -> AccessResult:
         levels = self.levels

@@ -27,7 +27,13 @@ emits the machine-consumable export of the same run.
 kernels on the reference interpreter instead of the predecoded
 batch-retiring engine -- bit-identical output, only slower (it exists for
 differential runs; the roofline flow manages its own engines and does not
-take the flag).
+take the flag); ``--no-block-delta`` and ``--no-fast-cache`` likewise
+disable block-delta retirement caching and the cache hierarchy's same-line
+short-circuits.
+``--workers N`` on compare fans the per-platform runs out over N worker
+processes (bit-identical Comparison, in platform order); ``--timings`` on
+stat/compare prints wall-clock compile/execute/analyses phase timings to
+stderr.
 """
 
 from __future__ import annotations
@@ -129,23 +135,43 @@ def _cpus(args: argparse.Namespace, platform_name: Optional[str] = None) -> int:
     return 1 if cpus is None else cpus
 
 
-def _workload(args: argparse.Namespace):
-    """Resolve --workload, forwarding only the parameters its factory takes."""
+def _workload_params(args: argparse.Namespace) -> dict:
+    """The factory parameters --workload's factory accepts from the flags."""
     params = {}
     accepted = registry.params(args.workload)
     for name in ("scale", "n"):
         value = getattr(args, name, None)
         if value is not None and name in accepted:
             params[name] = value
-    return registry.create(args.workload, **params)
+    return params
+
+
+def _workload(args: argparse.Namespace):
+    """Resolve --workload, forwarding only the parameters its factory takes."""
+    return registry.create(args.workload, **_workload_params(args))
 
 
 def _fast_dispatch(args: argparse.Namespace) -> bool:
     return not getattr(args, "no_fast_dispatch", False)
 
 
+def _fast_paths(args: argparse.Namespace) -> dict:
+    """ProfileSpec fast-path toggles from the shared dispatch flags."""
+    return {
+        "fast_dispatch": _fast_dispatch(args),
+        "block_delta": not getattr(args, "no_block_delta", False),
+        "fast_cache": not getattr(args, "no_fast_cache", False),
+    }
+
+
+def _print_timings(args: argparse.Namespace, *runs) -> None:
+    if getattr(args, "timings", False):
+        for run in runs:
+            print(run.format_timings(), file=sys.stderr)
+
+
 def cmd_stat(args: argparse.Namespace) -> int:
-    spec = ProfileSpec(fast_dispatch=_fast_dispatch(args)).counting()
+    spec = ProfileSpec(**_fast_paths(args)).counting()
     run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "stat" in run.errors:
         print(f"stat failed: {run.errors['stat']}", file=sys.stderr)
@@ -154,13 +180,14 @@ def cmd_stat(args: argparse.Namespace) -> int:
         print(run.to_json())
     else:
         print(run.stat.format())
+    _print_timings(args, run)
     return 0
 
 
 def cmd_record(args: argparse.Namespace) -> int:
     spec = ProfileSpec(sample_period=args.period,
                        analyses=("hotspots", "flamegraph"),
-                       fast_dispatch=_fast_dispatch(args))
+                       **_fast_paths(args))
     run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "sampling" in run.errors:
         print(f"record failed: {run.errors['sampling']}", file=sys.stderr)
@@ -176,7 +203,7 @@ def cmd_record(args: argparse.Namespace) -> int:
 
 def cmd_flamegraph(args: argparse.Namespace) -> int:
     spec = ProfileSpec(sample_period=args.period, analyses=("flamegraph",),
-                       fast_dispatch=_fast_dispatch(args))
+                       **_fast_paths(args))
     run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "sampling" in run.errors:
         print(f"flamegraph failed: {run.errors['sampling']}", file=sys.stderr)
@@ -227,13 +254,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
     spec = ProfileSpec(sample_period=args.period, analyses=analyses,
                        vendor_driver=not args.no_vendor_driver,
                        cpus=1 if args.cpus is None else args.cpus,
-                       fast_dispatch=_fast_dispatch(args))
+                       **_fast_paths(args))
+    # Platform names go to compare() unresolved: it validates the whole list
+    # up front (unknown or duplicate names raise one clean ValueError).  The
+    # workload travels by registry name so --workers can ship it to worker
+    # processes.
     comparison = Session.compare(
-        [platform_by_name(name) for name in args.platforms], workload, spec)
+        args.platforms, args.workload, spec,
+        workers=args.workers, workload_params=_workload_params(args))
     if args.json:
         print(comparison.to_json())
     else:
         print(comparison.report())
+    _print_timings(args, *comparison.runs)
     return 0
 
 
@@ -285,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "interpreter instead of the predecoded "
                               "batch-retiring engine (bit-identical results, "
                               "slower; for differential runs)")
+        sub.add_argument("--no-block-delta", action="store_true",
+                         help="disable block-delta retirement caching "
+                              "(bit-identical results, slower; for "
+                              "differential runs)")
+        sub.add_argument("--no-fast-cache", action="store_true",
+                         help="disable the cache hierarchy's same-line "
+                              "short-circuits (bit-identical results, "
+                              "slower; for differential runs)")
 
     identify = subparsers.add_parser("identify", help="cpuid-based identification")
     add_platform(identify)
@@ -296,6 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_cpus(stat)
     add_dispatch(stat)
     stat.add_argument("--json", action="store_true", help="emit JSON")
+    stat.add_argument("--timings", action="store_true",
+                      help="print wall-clock phase timings "
+                           "(compile/execute/analyses) to stderr")
     stat.set_defaults(func=cmd_stat)
 
     record = subparsers.add_parser("record", help="sampling profile + hotspots")
@@ -342,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--period", type=int, default=20_000)
     compare.add_argument("--roofline", action="store_true",
                          help="also run the roofline flow (kernel workloads)")
+    compare.add_argument("--workers", type=int, default=1,
+                         help="fan per-platform runs out over N worker "
+                              "processes (results are bit-identical to the "
+                              "serial run, in platform order)")
+    compare.add_argument("--timings", action="store_true",
+                         help="print per-platform wall-clock phase timings "
+                              "(compile/execute/analyses) to stderr")
     compare.add_argument("--json", action="store_true", help="emit JSON")
     compare.set_defaults(func=cmd_compare)
     return parser

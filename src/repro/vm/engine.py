@@ -42,6 +42,15 @@ The engine has two dispatch strategies over the same semantics:
   otherwise; final counter values, bus totals, sample counts and sample
   contents are bit-identical to the per-op path.
 
+  On top of the batching, basic blocks that retire no addressed memory ops,
+  no conditional branches, no calls and no vector-gated ops are classified
+  at predecode time and retired through a precomputed
+  :class:`~repro.cpu.core.BlockDelta` signature -- one sentinel per block
+  execution instead of the block's op stream (see ``block_delta`` below).
+  The addressed memory accesses of a flush are collected in stream order
+  alongside the pending ops and resolved in one batched
+  ``hierarchy.access_lines`` call on the non-sampling path.
+
 * **Slow dispatch** (``fast_dispatch=False``): the original instruction-at-
   a-time interpreter, kept as the reference implementation.  Equivalence
   tests run both engines on the same workload and assert identical results,
@@ -216,7 +225,7 @@ class _DecodedBlock:
     """A basic block predecoded into executor thunks."""
 
     __slots__ = ("name", "steps", "terminator", "phi_nodes", "phi_sources",
-                 "phi_accounts", "instr_count")
+                 "phi_accounts", "instr_count", "delta")
 
     def __init__(self, name: str):
         self.name = name
@@ -227,6 +236,11 @@ class _DecodedBlock:
         self.phi_sources: Dict["_DecodedBlock", List[Callable[[dict], object]]] = {}
         self.phi_accounts: Optional[List[Callable[[], None]]] = None
         self.instr_count = 0
+        # Precomputed retirement signature (BlockDelta) of a memory-free,
+        # branch-free, call-free block; None when the block must account per
+        # op.  When set, the steps are compiled without account thunks and
+        # one sentinel is appended to the pending stream per execution.
+        self.delta = None
 
 
 class _DecodedFunction:
@@ -260,6 +274,15 @@ class ExecutionEngine:
     fast_dispatch:
         Use the predecode + closure-dispatch execution path (default).  The
         slow path is the reference interpreter used by equivalence tests.
+    block_delta:
+        Retire memory-free, branch-free, call-free basic blocks through
+        precomputed :class:`~repro.cpu.core.BlockDelta` signatures (default;
+        fast dispatch only).  Such a block's retirement cost and event
+        pulses are constants of the core config, so one sentinel replaces
+        the block's per-op account stream.  Counters, cycles and -- because
+        the machine expands sentinels back to per-op retirement whenever a
+        sampling counter is armed -- sample streams are bit-identical with
+        the flag off; the switch exists for differential suites.
     """
 
     #: Pending machine ops are flushed to the machine once the buffer reaches
@@ -279,6 +302,7 @@ class ExecutionEngine:
         memory: Optional[Memory] = None,
         external_handlers: Optional[Sequence[object]] = None,
         fast_dispatch: bool = True,
+        block_delta: bool = True,
     ):
         if machine is not None and target is None:
             raise ValueError("a target lowering is required when a machine is given")
@@ -294,11 +318,16 @@ class ExecutionEngine:
         self._assign_pcs()
         self._accounting_enabled = machine is not None
         self.fast_dispatch = fast_dispatch
+        self.block_delta = block_delta
         # Fast-dispatch state: the shared accounting-enabled cell (closures
         # test it so set_accounting() keeps working), the pending retired-op
-        # buffer, and the per-function predecode cache.
+        # buffer (plus the stream-ordered addressed memory accesses it
+        # contains, handed to the hierarchy's batched access_lines), and the
+        # per-function predecode cache.
         self._acct_cell: List[bool] = [self._accounting_enabled]
         self._pending: List[MachineOp] = []
+        self._pending_mem: List[tuple] = []
+        self._suppress_accounts = False
         self._decoded: Dict[Function, _DecodedFunction] = {}
         # Yieldable-execution state: compiled call steps consult the mode
         # cell (so one predecode serves run() and run_yielding()), and both
@@ -431,8 +460,12 @@ class ExecutionEngine:
         """Retire all pending machine ops on the machine."""
         pending = self._pending
         if pending:
-            self.machine.execute_batch(pending, self.task)
+            pending_mem = self._pending_mem
+            self.machine.execute_batch(pending, self.task,
+                                       pending_mem if pending_mem else None)
             del pending[:]
+            if pending_mem:
+                del pending_mem[:]
 
     # -- yieldable call machinery --------------------------------------------------------------
 
@@ -482,6 +515,7 @@ class ExecutionEngine:
         flush = self._flush
         threshold = self._FLUSH_THRESHOLD
         fuel = self._fuel
+        acct_cell = self._acct_cell
         call_gen = self._call_function_gen
         block = decoded.entry
         prev: Optional[_DecodedBlock] = None
@@ -510,6 +544,10 @@ class ExecutionEngine:
                         if marker.dest is not None:
                             values[marker.dest] = result
                 nxt = block.terminator(values)
+                delta = block.delta
+                if delta is not None and acct_cell[0]:
+                    pending.append(delta)
+                    stats.machine_ops += delta.instructions
                 if nxt.__class__ is _Ret:
                     return nxt.value
                 fuel[0] -= block.instr_count
@@ -633,8 +671,12 @@ class ExecutionEngine:
         pending = self._pending
         flush = self._flush
         threshold = self._FLUSH_THRESHOLD
+        acct_cell = self._acct_cell
         block = decoded.entry
         prev: Optional[_DecodedBlock] = None
+        # Executed-instruction bookkeeping is accumulated locally and folded
+        # into the (externally only observed at rest) stats on frame exit.
+        executed = 0
         try:
             while True:
                 phis = block.phi_nodes
@@ -651,11 +693,14 @@ class ExecutionEngine:
                     if accounts is not None:
                         for account in accounts:
                             account()
-                stats.ir_instructions += block.instr_count
-                per_fn[fname] = per_fn.get(fname, 0) + block.instr_count
+                executed += block.instr_count
                 for step in block.steps:
                     step(values)
                 nxt = block.terminator(values)
+                delta = block.delta
+                if delta is not None and acct_cell[0]:
+                    pending.append(delta)
+                    stats.machine_ops += delta.instructions
                 if nxt.__class__ is _Ret:
                     return nxt.value
                 if len(pending) >= threshold:
@@ -670,6 +715,9 @@ class ExecutionEngine:
                     f"@{frame.function.name}"
                 ) from None
             raise
+        finally:
+            stats.ir_instructions += executed
+            per_fn[fname] = per_fn.get(fname, 0) + executed
 
     # -- predecoding --------------------------------------------------------------------------
 
@@ -712,19 +760,69 @@ class ExecutionEngine:
                 break
             body.append(inst)
         d.instr_count = count
-        d.steps = [self._compile_inst(inst) for inst in body]
-        if terminator is None:
-            block_name, function_name = block.name, function.name
+        delta = self._classify_block_delta(block, body, terminator)
+        if delta is not None:
+            # The delta carries the whole block's constant retirement
+            # signature; compile the executor thunks accounting-free.
+            d.delta = delta
+            self._suppress_accounts = True
+        try:
+            d.steps = [self._compile_inst(inst) for inst in body]
+            if terminator is None:
+                block_name, function_name = block.name, function.name
 
-            def fell_through(values: dict) -> object:
-                raise RuntimeError(
-                    f"block {block_name} in @{function_name} fell through "
-                    "without a terminator"
-                )
+                def fell_through(values: dict) -> object:
+                    raise RuntimeError(
+                        f"block {block_name} in @{function_name} fell through "
+                        "without a terminator"
+                    )
 
-            d.terminator = fell_through
-        else:
-            d.terminator = self._compile_terminator(terminator, dmap)
+                d.terminator = fell_through
+            else:
+                d.terminator = self._compile_terminator(terminator, dmap)
+        finally:
+            self._suppress_accounts = False
+
+    def _classify_block_delta(self, block: BasicBlock, body: List[Instruction],
+                              terminator: Optional[Instruction]):
+        """The block's :class:`~repro.cpu.core.BlockDelta`, or None.
+
+        A block qualifies when every op it retires has a cost that is a
+        constant of the core config: no addressed memory ops (register-
+        promoted accesses lower to nothing and are fine), no conditional
+        branch terminator (predictor state feeds the cost), no calls (they
+        flush at frame boundaries and run other blocks), and no
+        vector-annotated instructions (their accounts fire on every
+        ``width``-th execution, so the per-execution delta is not constant).
+        Signatures are cached per (block, core config) on the machine.
+        """
+        if (self.machine is None or not self.block_delta or terminator is None
+                or isinstance(terminator, Branch)):
+            return None
+        cache = self.machine.block_deltas
+        cached = cache.get(block)
+        if cached is not None:
+            return cached
+        lower = self.target.lower_cached
+        pc_of = self._pc_of
+        ops: List[MachineOp] = []
+        for inst in body:
+            if isinstance(inst, Call) or self._effective_vector_width(inst):
+                return None
+            lowered = lower(inst, pc=pc_of.get(id(inst), 0))
+            for op in lowered:
+                if op.is_memory:
+                    return None
+            ops.extend(lowered)
+        if self._effective_vector_width(terminator):
+            return None
+        ops.extend(lower(terminator, taken=True,
+                         pc=pc_of.get(id(terminator), 0)))
+        if not ops:
+            return None
+        delta = self.machine.core.block_delta_for(ops)
+        cache[block] = delta
+        return delta
 
     # .. operand access ........................................................................
 
@@ -784,9 +882,11 @@ class ExecutionEngine:
         """Accounting thunk for instructions whose lowering needs no address.
 
         Returns ``None`` when nothing would ever be retired (no machine, or
-        an empty lowering such as a phi or a bitcast).
+        an empty lowering such as a phi or a bitcast), or when the enclosing
+        block retires through a precomputed :class:`~repro.cpu.core.
+        BlockDelta` (the delta already carries these ops).
         """
-        if self.machine is None:
+        if self.machine is None or self._suppress_accounts:
             return None
         pc = self._pc_of.get(id(inst), 0)
         width = self._effective_vector_width(inst)
@@ -832,6 +932,7 @@ class ExecutionEngine:
         if not ops:
             return None        # register-promoted access: nothing retires
         pending = self._pending
+        pending_mem = self._pending_mem
         stats = self.stats
         if len(ops) == 1 and ops[0].is_memory:
             template = ops[0]
@@ -841,11 +942,18 @@ class ExecutionEngine:
             op_taken = template.taken
             op_target = template.target
             op_pc = template.pc
-
-            def emit(address: int) -> None:
-                pending.append(MachineOp(opclass, size_bytes, address,
-                                         lanes, op_taken, op_target, op_pc))
-                stats.machine_ops += 1
+            is_store = template.is_store
+            if size_bytes > 0:
+                def emit(address: int) -> None:
+                    pending.append(MachineOp(opclass, size_bytes, address,
+                                             lanes, op_taken, op_target, op_pc))
+                    pending_mem.append((address, size_bytes, is_store))
+                    stats.machine_ops += 1
+            else:
+                def emit(address: int) -> None:
+                    pending.append(MachineOp(opclass, size_bytes, address,
+                                             lanes, op_taken, op_target, op_pc))
+                    stats.machine_ops += 1
             return self._guard_account(width, emit)
 
         # Exotic lowering (several ops per access): fall back to lowering per
@@ -856,6 +964,11 @@ class ExecutionEngine:
             lowered = target.lower(inst, address=address, pc=pc,
                                    vector_width=width)
             pending.extend(lowered)
+            for op in lowered:
+                # Mirror retire_batch's addressed-memory predicate so the
+                # batched access stream stays aligned with the op stream.
+                if op.is_memory and op.address is not None and op.size_bytes > 0:
+                    pending_mem.append((op.address, op.size_bytes, op.is_store))
             stats.machine_ops += len(lowered)
         return self._guard_account(width, emit_general)
 

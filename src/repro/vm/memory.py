@@ -146,9 +146,20 @@ class Memory:
         Predecode hook used by the execution engine's fast dispatch: the type
         dispatch and struct-format selection happen once per instruction
         instead of once per access.  Bounds checking and results are
-        identical to :meth:`load_typed`.
+        identical to :meth:`load_typed`.  In-bounds accesses resolve their
+        segment inline: both backing bytearrays are stable objects for the
+        lifetime of the Memory (``malloc`` extends the heap in place), so
+        the closures capture them once -- workload arrays live on the heap,
+        register-promoted locals in alloca'd stack slots -- and only
+        out-of-bounds addresses fall back to :meth:`_backing` for the
+        error path.
         """
         backing_of = self._backing
+        heap = self._heap
+        heap_base = self.HEAP_BASE
+        stack = self._stack
+        stack_base = self.STACK_BASE
+        stack_limit = self.STACK_SIZE
         if isinstance(type_, IntType):
             if type_.bits == 1:
                 def load_i1(address: int) -> int:
@@ -167,6 +178,14 @@ class Memory:
             raise MemoryError_(f"cannot load value of type {type_}")
 
         def load(address: int):
+            offset = address - stack_base
+            if 0 <= offset:
+                if offset + size <= stack_limit:
+                    return unpack_from(stack, offset)[0]
+            else:
+                offset = address - heap_base
+                if 0 <= offset and offset + size <= len(heap):
+                    return unpack_from(heap, offset)[0]
             backing, offset = backing_of(address, size)
             return unpack_from(backing, offset)[0]
         return load
@@ -176,9 +195,14 @@ class Memory:
 
         The counterpart of :meth:`load_fn`; semantics match
         :meth:`store_typed` (integers are wrapped to the type's range before
-        being packed).
+        being packed), including the heap fast path.
         """
         backing_of = self._backing
+        heap = self._heap
+        heap_base = self.HEAP_BASE
+        stack = self._stack
+        stack_base = self.STACK_BASE
+        stack_limit = self.STACK_SIZE
         if isinstance(type_, IntType):
             if type_.bits == 1:
                 def store_i1(address: int, value) -> None:
@@ -190,6 +214,16 @@ class Memory:
             wrap = type_.wrap
 
             def store_int(address: int, value) -> None:
+                offset = address - stack_base
+                if 0 <= offset:
+                    if offset + size <= stack_limit:
+                        pack_into(stack, offset, wrap(int(value)))
+                        return
+                else:
+                    offset = address - heap_base
+                    if 0 <= offset and offset + size <= len(heap):
+                        pack_into(heap, offset, wrap(int(value)))
+                        return
                 backing, offset = backing_of(address, size)
                 pack_into(backing, offset, wrap(int(value)))
             return store_int
@@ -198,6 +232,16 @@ class Memory:
             pack_into = struct.Struct("<" + _FLOAT_FORMATS[type_.bits]).pack_into
 
             def store_float(address: int, value) -> None:
+                offset = address - stack_base
+                if 0 <= offset:
+                    if offset + size <= stack_limit:
+                        pack_into(stack, offset, float(value))
+                        return
+                else:
+                    offset = address - heap_base
+                    if 0 <= offset and offset + size <= len(heap):
+                        pack_into(heap, offset, float(value))
+                        return
                 backing, offset = backing_of(address, size)
                 pack_into(backing, offset, float(value))
             return store_float
@@ -205,6 +249,16 @@ class Memory:
             pack_into = struct.Struct("<q").pack_into
 
             def store_pointer(address: int, value) -> None:
+                offset = address - stack_base
+                if 0 <= offset:
+                    if offset + 8 <= stack_limit:
+                        pack_into(stack, offset, int(value))
+                        return
+                else:
+                    offset = address - heap_base
+                    if 0 <= offset and offset + 8 <= len(heap):
+                        pack_into(heap, offset, int(value))
+                        return
                 backing, offset = backing_of(address, 8)
                 pack_into(backing, offset, int(value))
             return store_pointer

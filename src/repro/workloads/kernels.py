@@ -7,6 +7,7 @@ printed in the paper's Section 5.2.
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import List, Sequence
 
 from repro.vm.memory import Memory
@@ -87,52 +88,61 @@ def _random_floats(count: int, seed: int) -> List[float]:
     return [generator.random() for _ in range(count)]
 
 
+# Args builders are functools.partial applications of module-level functions
+# (not closures) so a CompiledKernelWorkload pickles cleanly -- the parallel
+# run executor ships workload objects to worker processes.
+
+def _matmul_args(n: int, seed: int, memory: Memory) -> Sequence[object]:
+    a = memory.alloc_float_array(_random_floats(n * n, seed))
+    b = memory.alloc_float_array(_random_floats(n * n, seed + 1))
+    c = memory.alloc_float_array([0.0] * (n * n))
+    return [a, b, c, n]
+
+
 def matmul_args_builder(n: int, seed: int = 7):
     """Args builder for the matmul kernels: allocates A, B, C of size n x n."""
+    return partial(_matmul_args, n, seed)
 
-    def build(memory: Memory) -> Sequence[object]:
-        a = memory.alloc_float_array(_random_floats(n * n, seed))
-        b = memory.alloc_float_array(_random_floats(n * n, seed + 1))
-        c = memory.alloc_float_array([0.0] * (n * n))
-        return [a, b, c, n]
 
-    return build
+def _dot_args(n: int, seed: int, memory: Memory) -> Sequence[object]:
+    a = memory.alloc_float_array(_random_floats(n, seed))
+    b = memory.alloc_float_array(_random_floats(n, seed + 1))
+    return [a, b, n]
 
 
 def dot_args_builder(n: int, seed: int = 11):
-    def build(memory: Memory) -> Sequence[object]:
-        a = memory.alloc_float_array(_random_floats(n, seed))
-        b = memory.alloc_float_array(_random_floats(n, seed + 1))
-        return [a, b, n]
+    return partial(_dot_args, n, seed)
 
-    return build
+
+def _triad_args(n: int, scalar: float, seed: int,
+                memory: Memory) -> Sequence[object]:
+    a = memory.alloc_float_array([0.0] * n)
+    b = memory.alloc_float_array(_random_floats(n, seed))
+    c = memory.alloc_float_array(_random_floats(n, seed + 1))
+    return [a, b, c, scalar, n]
 
 
 def triad_args_builder(n: int, scalar: float = 3.0, seed: int = 13):
-    def build(memory: Memory) -> Sequence[object]:
-        a = memory.alloc_float_array([0.0] * n)
-        b = memory.alloc_float_array(_random_floats(n, seed))
-        c = memory.alloc_float_array(_random_floats(n, seed + 1))
-        return [a, b, c, scalar, n]
+    return partial(_triad_args, n, scalar, seed)
 
-    return build
+
+def _stencil_args(n: int, seed: int, memory: Memory) -> Sequence[object]:
+    dst = memory.alloc_float_array([0.0] * n)
+    src = memory.alloc_float_array(_random_floats(n, seed))
+    return [dst, src, n]
 
 
 def stencil_args_builder(n: int, seed: int = 17):
-    def build(memory: Memory) -> Sequence[object]:
-        dst = memory.alloc_float_array([0.0] * n)
-        src = memory.alloc_float_array(_random_floats(n, seed))
-        return [dst, src, n]
+    return partial(_stencil_args, n, seed)
 
-    return build
+
+def _memset_args(n: int, value: float, memory: Memory) -> Sequence[object]:
+    dst = memory.alloc_float_array([0.0] * n)
+    return [dst, value, n]
 
 
 def memset_args_builder(n: int, value: float = 1.0):
-    def build(memory: Memory) -> Sequence[object]:
-        dst = memory.alloc_float_array([0.0] * n)
-        return [dst, value, n]
-
-    return build
+    return partial(_memset_args, n, value)
 
 
 def analytic_matmul_counts(n: int) -> dict:

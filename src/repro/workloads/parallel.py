@@ -103,6 +103,11 @@ def _fast_dispatch(spec) -> bool:
     return getattr(spec, "fast_dispatch", True)
 
 
+def _block_delta(spec) -> bool:
+    """The spec's block-delta retirement toggle (default on)."""
+    return getattr(spec, "block_delta", True)
+
+
 @dataclass
 class MatmulParallelWorkload:
     """``matmul-parallel``: one n x n matmul sharded by output-row blocks."""
@@ -133,7 +138,8 @@ class MatmulParallelWorkload:
             base_args = self._allocate(memory)
             engine = ExecutionEngine(module, machine, target, task=task,
                                      memory=memory,
-                                     fast_dispatch=_fast_dispatch(spec))
+                                     fast_dispatch=_fast_dispatch(spec),
+                                     block_delta=_block_delta(spec))
             # The engine is the quantum generator: it yields every `quantum`
             # executed IR instructions, so preemption lands mid-function.
             yield from engine.run_yielding("matmul_rows",
@@ -170,6 +176,8 @@ class MatmulParallelWorkload:
             descriptor,
             enable_vectorizer=spec.enable_vectorizer,
             vendor_driver=spec.vendor_driver is not False,
+            block_delta=_block_delta(spec),
+            fast_cache=getattr(spec, "fast_cache", True),
         )
         def args_builder(memory: Memory) -> Sequence[object]:
             return self._allocate(memory) + [0, self.n]
@@ -225,7 +233,8 @@ class StreamTriadMtWorkload:
             c = memory.alloc_float_array(_random_floats(self.n, 14 + index))
             engine = ExecutionEngine(module, machine, target, task=task,
                                      memory=memory,
-                                     fast_dispatch=_fast_dispatch(spec))
+                                     fast_dispatch=_fast_dispatch(spec),
+                                     block_delta=_block_delta(spec))
             for _ in range(self.passes):
                 # Quantum yields mid-pass, plus one boundary per pass (the
                 # slice walks are what the LLC-contention model interleaves).
@@ -255,6 +264,8 @@ class StreamTriadMtWorkload:
             descriptor,
             enable_vectorizer=spec.enable_vectorizer,
             vendor_driver=spec.vendor_driver is not False,
+            block_delta=_block_delta(spec),
+            fast_cache=getattr(spec, "fast_cache", True),
         )
         def args_builder(memory: Memory) -> Sequence[object]:
             a = memory.alloc_float_array([0.0] * self.n)

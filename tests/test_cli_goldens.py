@@ -52,23 +52,42 @@ def _capture(capsys, argv):
     return out
 
 
+def _strip_timings(payload):
+    """Drop every ``timings`` key, recursively.
+
+    Wall-clock phase timings are the one intentionally non-deterministic
+    field a Run exports; golden comparisons exclude them (and the goldens
+    are stored without them).
+    """
+    if isinstance(payload, dict):
+        return {key: _strip_timings(value) for key, value in payload.items()
+                if key != "timings"}
+    if isinstance(payload, list):
+        return [_strip_timings(item) for item in payload]
+    return payload
+
+
+def _normalize(out: str) -> str:
+    return json.dumps(_strip_timings(json.loads(out)), indent=2) + "\n"
+
+
 @pytest.mark.parametrize("name,argv", sorted(CASES.items()),
                          ids=sorted(CASES))
 def test_cli_json_matches_golden(name, argv, capsys, request):
     out = _capture(capsys, argv)
-    json.loads(out)                       # always a valid JSON document
+    normalized = _normalize(out)          # always a valid JSON document
     path = os.path.join(GOLDEN_DIR, name)
     if request.config.getoption("--update-goldens"):
         os.makedirs(GOLDEN_DIR, exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(out)
+            handle.write(normalized)
         return
     assert os.path.exists(path), (
         f"golden {name} missing; generate it with --update-goldens"
     )
     with open(path, "r", encoding="utf-8") as handle:
         golden = handle.read()
-    assert out == golden, (
+    assert normalized == golden, (
         f"{' '.join(argv)} diverged from tests/goldens/{name}; if the change "
         "is intentional, rerun with --update-goldens and review the diff"
     )
@@ -78,8 +97,8 @@ def test_stat_golden_is_engine_independent(capsys):
     """--no-fast-dispatch must reproduce the same golden except for the spec
     field that names the engine -- the differential property, CLI-level."""
     argv = CASES["stat_matmul_parallel_x60_2harts.json"]
-    fast = json.loads(_capture(capsys, argv))
-    slow = json.loads(_capture(capsys, argv + ["--no-fast-dispatch"]))
+    fast = _strip_timings(json.loads(_capture(capsys, argv)))
+    slow = _strip_timings(json.loads(_capture(capsys, argv + ["--no-fast-dispatch"])))
     assert fast["spec"]["fast_dispatch"] is True
     assert slow["spec"]["fast_dispatch"] is False
     fast["spec"].pop("fast_dispatch")

@@ -52,9 +52,11 @@ def _run(name: str, spec: ProfileSpec, fast: bool):
 
 
 def _comparable_dict(run) -> dict:
-    """Everything the run exported, minus the spec (it names the engine)."""
+    """Everything the run exported, minus the spec (it names the engine) and
+    the wall-clock phase timings (the one non-deterministic field)."""
     payload = run.to_dict()
     payload.pop("spec")
+    payload.pop("timings", None)
     return payload
 
 
