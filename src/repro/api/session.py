@@ -18,6 +18,17 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Union
 
+
+def _wall_seconds() -> float:
+    """Host wall-clock, for the diagnostic phase timings only.
+
+    ``run.timings`` reports compile/execute/analyses wall time to stderr on
+    ``--timings``; it never feeds modelled time, samples or golden output
+    (the golden suite strips it).  Every timing read funnels through here so
+    the wall-clock exposure stays a single audited site.
+    """
+    return perf_counter()  # repro-lint: allow[wall-clock] -- diagnostic phase timings; stripped from goldens, never modelled time
+
 from repro.api.run import Comparison, Run
 from repro.api.spec import ProfileSpec
 from repro.api.workload import Workload
@@ -189,35 +200,35 @@ class Session:
 
         if spec.wants_stat:
             task = machine.create_task(workload.name)
-            start = perf_counter()
+            start = _wall_seconds()
             try:
                 executable = workload.executable(machine, task, spec)
-                compile_seconds += perf_counter() - start
-                start = perf_counter()
+                compile_seconds += _wall_seconds() - start
+                start = _wall_seconds()
                 run.stat = tool.stat(executable, task=task, events=spec.events)
-                execute_seconds += perf_counter() - start
+                execute_seconds += _wall_seconds() - start
             except PerfEventOpenError as error:
                 run.errors["stat"] = str(error)
                 run.failures["stat"] = error
 
         if spec.wants_sampling:
             task = machine.create_task(workload.name)
-            start = perf_counter()
+            start = _wall_seconds()
             try:
                 executable = workload.executable(machine, task, spec)
-                compile_seconds += perf_counter() - start
-                start = perf_counter()
+                compile_seconds += _wall_seconds() - start
+                start = _wall_seconds()
                 run.recording = tool.record(
                     executable,
                     task=task, events=spec.events,
                     sample_period=spec.sample_period,
                 )
-                execute_seconds += perf_counter() - start
+                execute_seconds += _wall_seconds() - start
             except (SamplingNotSupportedError, PerfEventOpenError) as error:
                 run.errors["sampling"] = str(error)
                 run.failures["sampling"] = error
             if run.recording is not None:
-                start = perf_counter()
+                start = _wall_seconds()
                 if "hotspots" in spec.analyses:
                     run.hotspots = tool.hotspots(run.recording)
                 if "flamegraph" in spec.analyses:
@@ -225,7 +236,7 @@ class Session:
                         run.recording.samples, weight="samples")
                     run.flame_instructions = build_flame_graph(
                         run.recording.samples, weight="instructions")
-                analyses_seconds += perf_counter() - start
+                analyses_seconds += _wall_seconds() - start
 
         if spec.wants_roofline:
             if not workload.supports_roofline:
@@ -236,10 +247,10 @@ class Session:
             else:
                 # Resolve the session-level vendor-driver default before the
                 # workload builds its own (fresh) roofline machines.
-                start = perf_counter()
+                start = _wall_seconds()
                 run.roofline = workload.roofline(
                     self.descriptor, spec.replace(vendor_driver=vendor_driver))
-                analyses_seconds += perf_counter() - start
+                analyses_seconds += _wall_seconds() - start
 
         run.timings = {"compile": compile_seconds, "execute": execute_seconds,
                        "analyses": analyses_seconds}
@@ -304,42 +315,42 @@ class Session:
         machine.set_cache_fast_path(spec.fast_cache)
 
         if spec.wants_stat:
-            start = perf_counter()
+            start = _wall_seconds()
             try:
                 threads = self._threads_for(workload, spec)
-                compile_seconds += perf_counter() - start
-                start = perf_counter()
+                compile_seconds += _wall_seconds() - start
+                start = _wall_seconds()
                 run.stat = smp_stat(machine, threads, events=spec.events)
                 run.schedule = run.stat.schedule
-                execute_seconds += perf_counter() - start
+                execute_seconds += _wall_seconds() - start
             except PerfEventOpenError as error:
                 run.errors["stat"] = str(error)
                 run.failures["stat"] = error
 
         if spec.wants_sampling:
-            start = perf_counter()
+            start = _wall_seconds()
             try:
                 threads = self._threads_for(workload, spec)
-                compile_seconds += perf_counter() - start
-                start = perf_counter()
+                compile_seconds += _wall_seconds() - start
+                start = _wall_seconds()
                 run.recording = smp_record(
                     machine, threads,
                     events=spec.events, sample_period=spec.sample_period,
                 )
                 run.schedule = run.recording.schedule
-                execute_seconds += perf_counter() - start
+                execute_seconds += _wall_seconds() - start
             except (_SNS, PerfEventOpenError) as error:
                 run.errors["sampling"] = str(error)
                 run.failures["sampling"] = error
             if run.recording is not None:
-                start = perf_counter()
+                start = _wall_seconds()
                 if "hotspots" in spec.analyses:
                     run.hotspots = run.recording.hotspots()
                 if "flamegraph" in spec.analyses:
                     run.flame_cycles = run.recording.flame_graph(weight="samples")
                     run.flame_instructions = run.recording.flame_graph(
                         weight="instructions")
-                analyses_seconds += perf_counter() - start
+                analyses_seconds += _wall_seconds() - start
 
         if spec.wants_roofline:
             if not workload.supports_roofline:
@@ -352,13 +363,13 @@ class Session:
                 # aggregated over all harts.  The shared levels (DRAM and
                 # the platform's LLC, which SharedMemorySystem shares across
                 # harts) keep their single-instance bandwidth.
-                start = perf_counter()
+                start = _wall_seconds()
                 single = workload.roofline(
                     self.descriptor, spec.replace(vendor_driver=vendor_driver))
                 run.roofline = aggregate_roofline(
                     single, spec.cpus,
                     shared_levels=("DRAM", self.descriptor.caches[-1].name))
-                analyses_seconds += perf_counter() - start
+                analyses_seconds += _wall_seconds() - start
 
         run.timings = {"compile": compile_seconds, "execute": execute_seconds,
                        "analyses": analyses_seconds}

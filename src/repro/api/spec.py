@@ -68,6 +68,12 @@ class ProfileSpec:
         Whether the machine's cache hierarchy uses its same-line
         short-circuits (default on).  Bit-identical results either way;
         the switch exists for differential runs.
+    verify_ir:
+        Whether compiled-kernel pipelines run the IR verifier after *every*
+        transform pass (default off: one post-pipeline verification).  A
+        debug aid for localising which pass broke an invariant; also
+        switchable globally via the ``REPRO_VERIFY_IR`` environment
+        variable.
     analyses:
         Which of :data:`ANALYSES` to derive.  ``stat`` counts (no samples);
         ``hotspots`` and ``flamegraph`` need one sampling recording (shared);
@@ -86,6 +92,7 @@ class ProfileSpec:
     fast_dispatch: bool = True
     block_delta: bool = True
     fast_cache: bool = True
+    verify_ir: bool = False
     analyses: Tuple[str, ...] = ("hotspots", "flamegraph")
 
     def __post_init__(self) -> None:
@@ -144,6 +151,10 @@ class ProfileSpec:
         return self.replace(fast_dispatch=False, block_delta=False,
                             fast_cache=False)
 
+    def with_ir_verification(self, enabled: bool = True) -> "ProfileSpec":
+        """Run the IR verifier between every pipeline pass (debug aid)."""
+        return self.replace(verify_ir=enabled)
+
     def with_analyses(self, *analyses: str) -> "ProfileSpec":
         return self.replace(analyses=tuple(analyses))
 
@@ -193,5 +204,6 @@ class ProfileSpec:
             "fast_dispatch": self.fast_dispatch,
             "block_delta": self.block_delta,
             "fast_cache": self.fast_cache,
+            "verify_ir": self.verify_ir,
             "analyses": list(self.analyses),
         }

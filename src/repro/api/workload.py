@@ -138,7 +138,8 @@ class CompiledKernelWorkload:
         # module and one warm lowering cache.
         descriptor = machine.descriptor
         module = compile_source_cached(self.source, self.filename, descriptor,
-                                       spec.enable_vectorizer)
+                                       spec.enable_vectorizer,
+                                       verify_ir=spec.verify_ir)
         target = target_for_platform(descriptor)
 
         def run() -> None:

@@ -9,15 +9,27 @@ engine (value environments, predecoded thunks, pc maps), so sharing one
 module instance across harts is safe -- and keeps pc assignment (a
 deterministic walk of the module) identical on every hart, which the
 fast-dispatch differential suites rely on.
+
+Compilation is also where static certification happens: after the pipeline
+the static block-delta classifier (:mod:`repro.analysis.blockdelta`) stamps
+per-block eligibility verdicts onto every function's metadata for the
+platform's target lowering.  The execution engine cross-checks its runtime
+classification against these verdicts on every block it decodes, so a
+divergence between the static model and the engine fails loudly instead of
+silently changing retirement behaviour.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.analysis.blockdelta import certify_module, is_certified
 from repro.compiler.frontend import compile_source
 from repro.compiler.ir.module import Module
+from repro.compiler.ir.verifier import verify_module
+from repro.compiler.targets.registry import target_for_platform
 from repro.compiler.transforms import default_optimization_pipeline
+from repro.compiler.transforms.pipeline import verify_ir_requested
 from repro.platforms.descriptors import PlatformDescriptor
 
 _MODULE_CACHE: Dict[Tuple[str, str, str, int, bool], Module] = {}
@@ -25,9 +37,17 @@ _MODULE_CACHE: Dict[Tuple[str, str, str, int, bool], Module] = {}
 
 def compile_source_cached(source: str, filename: str,
                           descriptor: PlatformDescriptor,
-                          enable_vectorizer: bool) -> Module:
+                          enable_vectorizer: bool,
+                          verify_ir: bool = False) -> Module:
     """Compile *source* through the default pipeline, memoized per platform
-    lowering configuration (march, vector lanes, vectorizer toggle)."""
+    lowering configuration (march, vector lanes, vectorizer toggle).
+
+    ``verify_ir`` (or the ``REPRO_VERIFY_IR`` environment flag) runs the IR
+    verifier between pipeline passes instead of once at the end; on a cache
+    hit the cached module is re-verified once, so the flag still gives a
+    verified module without recompiling.
+    """
+    verify_each = verify_ir or verify_ir_requested()
     key = (source, filename, descriptor.march, descriptor.vector.sp_lanes(),
            enable_vectorizer)
     module = _MODULE_CACHE.get(key)
@@ -36,7 +56,13 @@ def compile_source_cached(source: str, filename: str,
         pipeline = default_optimization_pipeline(
             vector_width=descriptor.vector.sp_lanes(),
             enable_vectorizer=enable_vectorizer,
+            verify_each=verify_each,
         )
         pipeline.run(module)
         _MODULE_CACHE[key] = module
+    elif verify_each:
+        verify_module(module)
+    target = target_for_platform(descriptor)
+    if not is_certified(module, target):
+        certify_module(module, target)
     return module

@@ -46,7 +46,7 @@ class Type:
         return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._key()))
+        return hash((type(self).__name__, self._key()))  # repro-lint: allow[no-hash] -- in-process dict/set key for value-equal types; never emitted or ordered on
 
     def _key(self) -> Tuple:
         return ()

@@ -66,7 +66,7 @@ class Constant(Value):
         )
 
     def __hash__(self) -> int:
-        return hash((self.type, self.value))
+        return hash((self.type, self.value))  # repro-lint: allow[no-hash] -- in-process dict/set key for value-equal constants; never emitted or ordered on
 
 
 class UndefValue(Value):

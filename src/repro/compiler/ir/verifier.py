@@ -37,6 +37,22 @@ class VerificationError(Exception):
         )
 
 
+def _describe(block: BasicBlock, inst: Instruction) -> str:
+    """Name an instruction in an error message.
+
+    Value-producing instructions are named by their SSA result; void ones
+    (stores, branches) by opcode and position in the block, which is stable
+    and enough to find the line in printed IR.
+    """
+    if inst.name:
+        return f"%{inst.name} ({inst.opcode})"
+    try:
+        position = block.instructions.index(inst)
+    except ValueError:
+        position = -1
+    return f"{inst.opcode} (instruction #{position})"
+
+
 def _predecessors(function: Function):
     preds = {block: [] for block in function.blocks}
     for block in function.blocks:
@@ -108,7 +124,8 @@ def verify_function(function: Function) -> List[str]:
                     continue
                 if isinstance(operand, Instruction) and operand not in defined_values:
                     errors.append(
-                        f"{function.name}/{block.name}: instruction uses value "
+                        f"{function.name}/{block.name}: "
+                        f"{_describe(block, inst)} uses value "
                         f"%{operand.name} defined outside the function"
                     )
 
@@ -138,25 +155,43 @@ def _check_types(function: Function, block: BasicBlock, inst: Instruction) -> Li
     where = f"{function.name}/{block.name}"
     if isinstance(inst, BinaryOp):
         if inst.lhs.type != inst.rhs.type:
-            errors.append(f"{where}: binary op operand type mismatch in %{inst.name}")
+            errors.append(
+                f"{where}: binary op operand type mismatch in "
+                f"{_describe(block, inst)}"
+            )
         if inst.is_float_op and not (
             inst.type.is_float
             or (inst.type.is_vector and inst.type.element.is_float)
         ):
-            errors.append(f"{where}: fp opcode {inst.opcode} on non-float type")
+            errors.append(
+                f"{where}: fp opcode {inst.opcode} on non-float type in "
+                f"{_describe(block, inst)}"
+            )
         if not inst.is_float_op and inst.type.is_float:
-            errors.append(f"{where}: integer opcode {inst.opcode} on float type")
+            errors.append(
+                f"{where}: integer opcode {inst.opcode} on float type in "
+                f"{_describe(block, inst)}"
+            )
     elif isinstance(inst, Load):
         if not inst.pointer.type.is_pointer:
             errors.append(f"{where}: load from non-pointer in %{inst.name}")
     elif isinstance(inst, Store):
         if not inst.pointer.type.is_pointer:
-            errors.append(f"{where}: store through non-pointer")
+            errors.append(
+                f"{where}: store through non-pointer in {_describe(block, inst)}"
+            )
         elif inst.pointer.type.pointee != inst.value.type:
-            errors.append(f"{where}: store value/pointee type mismatch")
+            errors.append(
+                f"{where}: store value/pointee type mismatch in "
+                f"{_describe(block, inst)} (storing {inst.value.type} "
+                f"through {inst.pointer.type})"
+            )
     elif isinstance(inst, GetElementPtr):
         if not inst.base.type.is_pointer:
-            errors.append(f"{where}: getelementptr base is not a pointer")
+            errors.append(
+                f"{where}: getelementptr base is not a pointer in "
+                f"{_describe(block, inst)}"
+            )
     elif isinstance(inst, Call):
         callee = inst.callee
         if isinstance(callee, Function):

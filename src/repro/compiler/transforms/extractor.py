@@ -71,14 +71,14 @@ class CodeExtractor:
                     if isinstance(operand, (Constant, UndefValue, Function, BasicBlock)):
                         continue
                     if isinstance(operand, Argument):
-                        key = id(operand)
+                        key = id(operand)  # repro-lint: allow[no-id] -- identity dedup within one compile; order comes from operand walk, not the ids
                         if key not in seen:
                             seen.add(key)
                             inputs.append(operand)
                         continue
                     if isinstance(operand, Instruction):
                         if operand.parent is not None and operand.parent not in self.region.blocks:
-                            key = id(operand)
+                            key = id(operand)  # repro-lint: allow[no-id] -- identity dedup within one compile; order comes from operand walk, not the ids
                             if key not in seen:
                                 seen.add(key)
                                 inputs.append(operand)

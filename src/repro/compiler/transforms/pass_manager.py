@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.compiler.ir.module import Function, Module
-from repro.compiler.ir.verifier import verify_module
+from repro.compiler.ir.verifier import VerificationError, verify_module
 
 
 @dataclass
@@ -66,11 +66,20 @@ class PassManager:
         return self
 
     def run(self, module: Module) -> List[PassResult]:
+        """Run the pipeline; the module is verified either way.
+
+        With ``verify_each`` the verifier runs after every pass and a
+        failure names the pass that broke the module; without it one
+        verification runs after the whole pipeline (same guarantee, one
+        pass-pipeline's worth cheaper, but the culprit is not localised --
+        re-run with ``REPRO_VERIFY_IR=1`` or ``verify_each=True`` to find
+        it).
+        """
         self.results = []
         for pass_ in self._passes:
-            start = time.perf_counter()
+            start = time.perf_counter()  # repro-lint: allow[wall-clock] -- per-pass compile timings are diagnostics, never part of modelled time or golden output
             changed = self._run_one(pass_, module)
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start  # repro-lint: allow[wall-clock] -- per-pass compile timings are diagnostics, never part of modelled time or golden output
             self.results.append(
                 PassResult(
                     pass_name=pass_.name,
@@ -80,8 +89,21 @@ class PassManager:
                 )
             )
             if self.verify_each:
-                verify_module(module)
+                self._verify(module, after=pass_.name)
+        if not self.verify_each:
+            self._verify(module, after=None)
         return self.results
+
+    @staticmethod
+    def _verify(module: Module, after: Optional[str]) -> None:
+        try:
+            verify_module(module)
+        except VerificationError as error:
+            context = (f"after pass {after!r}" if after
+                       else "after the pass pipeline")
+            raise VerificationError(
+                [f"[{context}] {message}" for message in error.errors]
+            ) from None
 
     def _run_one(self, pass_: Union[FunctionPass, ModulePass], module: Module) -> bool:
         if isinstance(pass_, ModulePass):

@@ -11,6 +11,7 @@ Two pipelines are provided:
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 from repro.compiler.transforms.constfold import ConstantFoldPass
@@ -21,13 +22,36 @@ from repro.compiler.transforms.roofline_pass import RooflineInstrumentationPass
 from repro.compiler.transforms.simplifycfg import SimplifyCfgPass
 from repro.compiler.transforms.vectorize import LoopVectorizePass
 
+#: Environment flag forcing per-pass IR verification in every pipeline
+#: (equivalent to ``ProfileSpec.verify_ir=True``, but global).
+VERIFY_IR_ENV = "REPRO_VERIFY_IR"
+
+
+def verify_ir_requested() -> bool:
+    """Whether the :data:`VERIFY_IR_ENV` debug flag is set (and truthy)."""
+    return os.environ.get(VERIFY_IR_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def resolve_verify_each(verify_each: Optional[bool]) -> bool:
+    """An explicit choice wins; ``None`` defers to :data:`VERIFY_IR_ENV`.
+
+    Either way the module is verified once after the pipeline completes
+    (:meth:`PassManager.run`); per-pass verification exists to *localise*
+    which transform broke an invariant, at ~number-of-passes times the cost.
+    """
+    if verify_each is not None:
+        return verify_each
+    return verify_ir_requested()
+
 
 def default_optimization_pipeline(vector_width: int = 8,
                                   enable_vectorizer: bool = True,
                                   promote_scalars: bool = True,
-                                  verify_each: bool = True) -> PassManager:
+                                  verify_each: Optional[bool] = None,
+                                  ) -> PassManager:
     """Cleanup + scalar promotion + (optional) vectorisation, no instrumentation."""
-    manager = PassManager(verify_each=verify_each)
+    manager = PassManager(verify_each=resolve_verify_each(verify_each))
     manager.add(ConstantFoldPass())
     manager.add(SimplifyCfgPass())
     manager.add(DeadCodeEliminationPass())
@@ -43,14 +67,14 @@ def build_roofline_pipeline(vector_width: int = 8,
                             promote_scalars: bool = True,
                             only_functions: Optional[List[str]] = None,
                             instrument_first: bool = False,
-                            verify_each: bool = True) -> PassManager:
+                            verify_each: Optional[bool] = None) -> PassManager:
     """The full pipeline with Roofline instrumentation.
 
     ``instrument_first=True`` deliberately mis-orders the pipeline (the
     instrumentation runs before the vectoriser); it exists for the ablation
     study of the paper's "apply the pass late" design choice.
     """
-    manager = PassManager(verify_each=verify_each)
+    manager = PassManager(verify_each=resolve_verify_each(verify_each))
     instrumentation = RooflineInstrumentationPass(only_functions=only_functions)
     manager.add(ConstantFoldPass())
     manager.add(SimplifyCfgPass())

@@ -102,6 +102,12 @@ class Machine:
         #: the per-run execution engines (a Session caches its machines), so
         #: repeated runs predecode each eligible block's delta exactly once.
         self.block_deltas: Dict[object, BlockDelta] = {}
+        #: Optional ``(address, size_bytes, is_store) -> None`` observer of
+        #: every addressed memory op this hart retires, on both the per-op
+        #: and the batched path.  The static race detector's dynamic
+        #: validator installs one per hart to record actual per-thread access
+        #: sets; ``None`` (the default) costs one predicate per execute call.
+        self._access_recorder = None
 
     # -- identity & capability ----------------------------------------------------
 
@@ -143,6 +149,8 @@ class Machine:
         """
         if task is not None and op.pc:
             task.set_pc(op.pc)
+        if self._access_recorder is not None and op.is_memory and op.address is not None:
+            self._access_recorder(op.address, op.size_bytes, op.is_store)
         return self.core.retire(op)
 
     def execute_batch(self, ops: Sequence[object],
@@ -178,6 +186,15 @@ class Machine:
         """
         if not ops:
             return
+        if self._access_recorder is not None:
+            # BlockDelta sentinels never contain memory ops (delta
+            # eligibility excludes them), so walking the top level sees
+            # every addressed access of the batch.
+            record = self._access_recorder
+            for op in ops:
+                if op.__class__ is not BlockDelta and op.is_memory \
+                        and op.address is not None:
+                    record(op.address, op.size_bytes, op.is_store)
         if self._sampling_probe():
             retire = self.core.retire
             if task is not None:
@@ -215,6 +232,15 @@ class Machine:
     def set_sampling_probe(self, probe) -> None:
         """Install a system-wide sampling predicate (see ``_sampling_probe``)."""
         self._sampling_probe = probe
+
+    def set_access_recorder(self, recorder) -> None:
+        """Install (or clear, with ``None``) the memory-access observer.
+
+        *recorder* is called as ``recorder(address, size_bytes, is_store)``
+        for every addressed memory op retired on this hart.  Recording is
+        observation only -- timing, counters and samples are unaffected.
+        """
+        self._access_recorder = recorder
 
     def set_cache_fast_path(self, enabled: bool) -> None:
         """Toggle the memory hierarchy's same-line short-circuits.

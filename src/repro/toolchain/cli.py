@@ -16,7 +16,13 @@ and vendor-driver setting goes down exactly one code path.
 * ``flamegraph -p X``         -- same, rendered as a flame graph (text/SVG);
 * ``roofline -p X``           -- the compiler-driven roofline for a kernel;
 * ``compare --platforms ...`` -- one workload across platforms, side by side,
-  with quantitative flame-graph diffs.
+  with quantitative flame-graph diffs;
+* ``analyze -p X``            -- the static-analysis report for a workload
+  (block-delta certification, address regions, liveness/reaching-defs,
+  race verdicts for parallel workloads); nonzero exit on ``racy``/
+  ``unknown`` race verdicts;
+* ``lint [paths]``            -- the determinism linter over the repo's own
+  source (or the given paths); nonzero exit on violations.
 
 ``--cpus N`` on stat/record/flamegraph/compare profiles on an N-hart SMP
 machine (per-hart columns, cpu-tagged samples, hart-labelled flame graphs);
@@ -40,10 +46,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.blockdelta import verdicts_for
+from repro.analysis.dataflow import max_live_values, reaching_definitions
+from repro.analysis.lint import default_lint_root, iter_python_files, lint_paths
+from repro.analysis.races import analyze_parallel_workload, supports_shard_plans
+from repro.analysis.ranges import analyze_address_ranges
 from repro.api import ProfileSpec, Session
+from repro.compiler.cache import compile_source_cached
+from repro.compiler.targets import target_for_platform
 from repro.flamegraph import render_text
 from repro.miniperf import Miniperf
 from repro.miniperf.groups import SamplingNotSupportedError
@@ -51,6 +65,7 @@ from repro.kernel.perf_event import PerfEventOpenError
 from repro.platforms import Machine, all_platforms, platform_by_name
 from repro.pmu.vendors import all_capabilities
 from repro.roofline.plot import render_ascii_roofline, render_svg_roofline
+from repro.vm import Memory
 from repro.workloads import registry
 
 
@@ -270,6 +285,160 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_kernel_module(source: str, filename: str, entry: str,
+                           args_builder, descriptor) -> List[dict]:
+    """The per-function static report for one compiled kernel source.
+
+    Analysis always runs on the scalar (vectorizer-off) module: the address
+    analysis models semantic footprints, and block-delta verdicts for the
+    scalar configuration are the ones every spec that disables vectorization
+    exercises.  Concrete argument values (from the workload's own args
+    builder against a fresh Memory) give pointer regions absolute bases.
+    """
+    module = compile_source_cached(source, filename, descriptor,
+                                   enable_vectorizer=False)
+    target = target_for_platform(descriptor)
+    concrete_args = list(args_builder(Memory())) if args_builder else None
+    functions: List[dict] = []
+    for function in module.defined_functions():
+        verdicts = verdicts_for(function, target) or {}
+        arg_values = concrete_args if function.name == entry else None
+        ranges = analyze_address_ranges(function, arg_values)
+        reaching = reaching_definitions(function)
+        functions.append({
+            "name": function.name,
+            "blocks": {
+                name: {"eligible": verdict.eligible, "reason": verdict.reason}
+                for name, verdict in sorted(verdicts.items())
+            },
+            "max_live_values": max_live_values(function),
+            "max_reaching_defs": max(
+                (len(defs) for defs in reaching.values()), default=0),
+            "regions": [
+                {
+                    "name": region.name,
+                    "lo": region.lo, "hi": region.hi,
+                    "stride": region.stride,
+                    "reads": region.reads, "writes": region.writes,
+                    "private": region.is_private,
+                    "base": region.base,
+                }
+                for region in ranges.sorted_regions()
+            ],
+            "unresolved_accesses": len(ranges.unresolved),
+        })
+    return functions
+
+
+def _analyze_workload(workload, descriptor, cpus: int) -> dict:
+    entry: dict = {"name": workload.name, "kind": workload.kind}
+    if workload.kind == "kernel":
+        entry["functions"] = _analyze_kernel_module(
+            workload.source, workload.filename, workload.function,
+            workload.args_builder, descriptor)
+    elif supports_shard_plans(workload):
+        report = analyze_parallel_workload(workload, cpus, ProfileSpec(),
+                                           descriptor)
+        entry["race"] = report.to_dict()
+    else:
+        entry["note"] = ("synthetic trace replay; no compiled IR to "
+                        "analyze statically")
+    return entry
+
+
+def _format_analyze_entry(entry: dict) -> str:
+    lines = [f"workload: {entry['name']} ({entry['kind']})"]
+    for function in entry.get("functions", ()):
+        blocks = function["blocks"]
+        eligible = sum(1 for v in blocks.values() if v["eligible"])
+        lines.append(
+            f"  @{function['name']}: {eligible}/{len(blocks)} blocks "
+            f"block-delta eligible; max live values "
+            f"{function['max_live_values']}; max reaching defs "
+            f"{function['max_reaching_defs']}"
+        )
+        for name, verdict in blocks.items():
+            state = "eligible" if verdict["eligible"] else verdict["reason"]
+            lines.append(f"    block {name}: {state}")
+        for region in function["regions"]:
+            span = (f"[{region['lo']}, {region['hi']})"
+                    if region["lo"] is not None and region["hi"] is not None
+                    else "[unbounded)")
+            where = ("private" if region["private"]
+                     else f"base={region['base']:#x}" if region["base"] is not None
+                     else "base=?")
+            lines.append(
+                f"    region {region['name']}: {span} stride "
+                f"{region['stride']} reads={region['reads']} "
+                f"writes={region['writes']} ({where})"
+            )
+        if function["unresolved_accesses"]:
+            lines.append(
+                f"    {function['unresolved_accesses']} access(es) "
+                "could not be bounded"
+            )
+    race = entry.get("race")
+    if race is not None:
+        lines.append(f"  race verdict ({race['cpus']} harts): "
+                     f"{race['verdict']}")
+        for region in race["regions"]:
+            lines.append(
+                f"    {region['thread']}/{region['label']}: "
+                f"[{region['lo']:#x}, {region['hi']:#x}) "
+                f"reads={region['reads']} writes={region['writes']}"
+            )
+        for overlap in race["overlaps"]:
+            lines.append(f"    overlap {overlap['first']} ~ "
+                         f"{overlap['second']}: {overlap['kind']}")
+        for note in race["notes"]:
+            lines.append(f"    note: {note}")
+    if "note" in entry:
+        lines.append(f"  {entry['note']}")
+    return "\n".join(lines)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    descriptor = platform_by_name(args.platform)
+    cpus = 1 if args.cpus is None else args.cpus
+    if args.all:
+        workloads = [registry.create(name) for name in registry]
+    else:
+        workloads = [_workload(args)]
+    entries = [_analyze_workload(workload, descriptor, cpus)
+               for workload in workloads]
+    report = {"platform": descriptor.name, "cpus": cpus, "workloads": entries}
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"static analysis on {descriptor.name} ({cpus} harts for "
+              "parallel workloads):")
+        for entry in entries:
+            print(_format_analyze_entry(entry))
+    bad = [entry["name"] for entry in entries
+           if entry.get("race", {}).get("verdict") in ("racy", "unknown")]
+    if bad:
+        print(f"race certification failed for: {', '.join(bad)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    paths = args.paths or [default_lint_root()]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        raise ValueError(f"no such file or directory: {', '.join(missing)}")
+    violations = lint_paths(paths)
+    if args.json:
+        print(json.dumps([v.to_dict() for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.format())
+        checked = sum(1 for _ in iter_python_files(paths))
+        print(f"checked {checked} file(s): {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -395,6 +564,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "(compile/execute/analyses) to stderr")
     compare.add_argument("--json", action="store_true", help="emit JSON")
     compare.set_defaults(func=cmd_compare)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="static analysis report (block-delta certification, "
+                        "address regions, race verdicts)")
+    add_platform(analyze)
+    add_workload(analyze, "stream-triad")
+    analyze.add_argument("--all", action="store_true",
+                         help="analyze every registered workload")
+    analyze.add_argument("--cpus", type=int, default=None,
+                         help="shard count for parallel-workload race "
+                              "analysis (default 1)")
+    analyze.add_argument("--json", action="store_true", help="emit JSON")
+    analyze.set_defaults(func=cmd_analyze)
+
+    lint = subparsers.add_parser(
+        "lint", help="determinism linter (hash/id, set iteration, "
+                     "wall-clock, unseeded random)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true", help="emit JSON")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

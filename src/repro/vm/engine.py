@@ -96,6 +96,8 @@ from repro.compiler.ir.instructions import (
     Select,
     Store,
 )
+from repro.analysis.blockdelta import STATIC_DELTA_KEY
+from repro.analysis.blockdelta import target_key as _static_target_key
 from repro.compiler.ir.module import BasicBlock, Function, Module
 from repro.compiler.ir.types import FloatType, IntType, Type
 from repro.compiler.ir.values import Constant, UndefValue, Value
@@ -342,7 +344,7 @@ class ExecutionEngine:
         for function in self.module:
             for block in function.blocks:
                 for inst in block.instructions:
-                    self._pc_of[id(inst)] = pc
+                    self._pc_of[id(inst)] = pc  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
                     pc += 4
 
     def register_external_handler(self, handler: object) -> None:
@@ -438,7 +440,7 @@ class ExecutionEngine:
         if self.task is not None:
             entry_pc = 0
             if function.blocks and function.entry_block.instructions:
-                entry_pc = self._pc_of[id(function.entry_block.instructions[0])]
+                entry_pc = self._pc_of[id(function.entry_block.instructions[0])]  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
             self.task.push_frame(function.name, pc=entry_pc,
                                  source_file=function.source_file)
         self.stats.calls += 1
@@ -477,7 +479,7 @@ class ExecutionEngine:
         if self.task is not None:
             entry_pc = 0
             if function.blocks and function.entry_block.instructions:
-                entry_pc = self._pc_of[id(function.entry_block.instructions[0])]
+                entry_pc = self._pc_of[id(function.entry_block.instructions[0])]  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
             self.task.push_frame(function.name, pc=entry_pc,
                                  source_file=function.source_file)
         self.stats.calls += 1
@@ -795,9 +797,23 @@ class ExecutionEngine:
         vector-annotated instructions (their accounts fire on every
         ``width``-th execution, so the per-execution delta is not constant).
         Signatures are cached per (block, core config) on the machine.
+
+        Modules that went through the compile pipeline carry static
+        eligibility verdicts (:mod:`repro.analysis.blockdelta`); this method
+        cross-checks its decision against them and raises on divergence, so
+        a drift between the static model and the engine fails loudly.
         """
-        if (self.machine is None or not self.block_delta or terminator is None
-                or isinstance(terminator, Branch)):
+        if self.machine is None or not self.block_delta:
+            return None
+        delta = self._classify_block_delta_runtime(block, body, terminator)
+        self._cross_check_static_delta(block, delta is not None)
+        return delta
+
+    def _classify_block_delta_runtime(self, block: BasicBlock,
+                                      body: List[Instruction],
+                                      terminator: Optional[Instruction]):
+        """The runtime eligibility decision (machine/flag gates already passed)."""
+        if terminator is None or isinstance(terminator, Branch):
             return None
         cache = self.machine.block_deltas
         cached = cache.get(block)
@@ -809,7 +825,7 @@ class ExecutionEngine:
         for inst in body:
             if isinstance(inst, Call) or self._effective_vector_width(inst):
                 return None
-            lowered = lower(inst, pc=pc_of.get(id(inst), 0))
+            lowered = lower(inst, pc=pc_of.get(id(inst), 0))  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
             for op in lowered:
                 if op.is_memory:
                     return None
@@ -817,12 +833,42 @@ class ExecutionEngine:
         if self._effective_vector_width(terminator):
             return None
         ops.extend(lower(terminator, taken=True,
-                         pc=pc_of.get(id(terminator), 0)))
+                         pc=pc_of.get(id(terminator), 0)))  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
         if not ops:
             return None
         delta = self.machine.core.block_delta_for(ops)
         cache[block] = delta
         return delta
+
+    def _cross_check_static_delta(self, block: BasicBlock,
+                                  runtime_eligible: bool) -> None:
+        """Compare the runtime decision with the certified static verdict.
+
+        Uncertified modules (hand-built IR in tests, modules that bypassed
+        ``compile_source_cached``) carry no verdicts and are skipped; for
+        certified ones a disagreement is a bug in either the engine or the
+        static classifier, never acceptable drift.
+        """
+        function = block.parent
+        if function is None:
+            return
+        per_target = function.metadata.get(STATIC_DELTA_KEY)
+        if not isinstance(per_target, dict):
+            return
+        verdicts = per_target.get(_static_target_key(self.target))
+        if verdicts is None:
+            return
+        verdict = verdicts.get(block.name)
+        if verdict is None:
+            return
+        if verdict.eligible != runtime_eligible:
+            raise RuntimeError(
+                f"static block-delta verdict diverges from the engine for "
+                f"block {block.name!r} in @{function.name} on target "
+                f"{_static_target_key(self.target)}: static says "
+                f"{'eligible' if verdict.eligible else f'ineligible ({verdict.reason})'}, "
+                f"engine says {'eligible' if runtime_eligible else 'ineligible'}"
+            )
 
     # .. operand access ........................................................................
 
@@ -888,7 +934,7 @@ class ExecutionEngine:
         """
         if self.machine is None or self._suppress_accounts:
             return None
-        pc = self._pc_of.get(id(inst), 0)
+        pc = self._pc_of.get(id(inst), 0)  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
         width = self._effective_vector_width(inst)
         ops = self.target.lower_cached(inst, taken=taken, pc=pc, vector_width=width)
         n = len(ops)
@@ -905,7 +951,7 @@ class ExecutionEngine:
     def _compile_branch_account(self, inst: Branch) -> Optional[Callable[[bool], None]]:
         if self.machine is None:
             return None
-        pc = self._pc_of.get(id(inst), 0)
+        pc = self._pc_of.get(id(inst), 0)  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
         width = self._effective_vector_width(inst)
         ops_taken = self.target.lower_cached(inst, taken=True, pc=pc,
                                              vector_width=width)
@@ -926,7 +972,7 @@ class ExecutionEngine:
         """Accounting thunk for loads/stores: cached lowering, address patched."""
         if self.machine is None:
             return None
-        pc = self._pc_of.get(id(inst), 0)
+        pc = self._pc_of.get(id(inst), 0)  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
         width = self._effective_vector_width(inst)
         ops = self.target.lower_cached(inst, pc=pc, vector_width=width)
         if not ops:
@@ -1483,13 +1529,13 @@ class ExecutionEngine:
             # annotated instruction; the other executions are lanes of it.
             width = min(int(annotated), self.target.vector_sp_lanes)
             if width > 1:
-                key = id(inst)
+                key = id(inst)  # repro-lint: allow[no-id] -- per-engine lane counter key; ids never order or escape
                 count = self._vector_counters.get(key, 0) + 1
                 self._vector_counters[key] = count
                 if count % width != 0:
                     return
                 vector_width = width
-        pc = self._pc_of.get(id(inst), 0)
+        pc = self._pc_of.get(id(inst), 0)  # repro-lint: allow[no-id] -- per-engine pc map key; pcs come from a deterministic module walk, ids never order or escape
         ops = self.target.lower(inst, address=address, taken=taken, pc=pc,
                                 vector_width=vector_width)
         task = self.task

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Protocol, Sequence, Tuple, runtime_checkable
 
+from repro.analysis.races import KernelShardPlan, TraceShardPlan
 from repro.compiler.cache import compile_source_cached
 from repro.compiler.targets import target_for_platform
 from repro.kernel.task import Task
@@ -132,7 +133,9 @@ class MatmulParallelWorkload:
         def body(machine: Machine, task: Task) -> Iterator[None]:
             module = compile_source_cached(MATMUL_ROWS_SOURCE, "matmul_rows.c",
                                            machine.descriptor,
-                                           spec.enable_vectorizer)
+                                           spec.enable_vectorizer,
+                                           verify_ir=getattr(spec, "verify_ir",
+                                                             False))
             target = target_for_platform(machine.descriptor)
             memory = Memory()
             base_args = self._allocate(memory)
@@ -158,6 +161,27 @@ class MatmulParallelWorkload:
                 break
             out.append((f"matmul-worker-{index}", self._body(lo, hi, spec)))
         return out
+
+    def shard_plans(self, cpus: int, spec) -> List[KernelShardPlan]:
+        """Describe the shards for the static race detector.
+
+        Every thread body builds a fresh :class:`Memory` and allocates
+        identically, so one allocation here reproduces the addresses every
+        thread sees -- A/B/C are genuinely shared across threads.
+        """
+        base_args = self._allocate(Memory())
+        plans: List[KernelShardPlan] = []
+        for index, (name, _body) in enumerate(self.threads(cpus, spec)):
+            shards = max(1, cpus)
+            rows_per = (self.n + shards - 1) // shards
+            lo = index * rows_per
+            hi = min(self.n, lo + rows_per)
+            plans.append(KernelShardPlan(
+                thread=name, source=MATMUL_ROWS_SOURCE,
+                filename="matmul_rows.c", function="matmul_rows",
+                args=tuple(base_args + [lo, hi]),
+            ))
+        return plans
 
     def executable(self, machine: Machine, task: Task,
                    spec) -> Callable[[], None]:
@@ -222,7 +246,9 @@ class StreamTriadMtWorkload:
         def body(machine: Machine, task: Task) -> Iterator[None]:
             module = compile_source_cached(TRIAD_SLICE_SOURCE, "triad.c",
                                            machine.descriptor,
-                                           spec.enable_vectorizer)
+                                           spec.enable_vectorizer,
+                                           verify_ir=getattr(spec, "verify_ir",
+                                                             False))
             target = target_for_platform(machine.descriptor)
             memory = Memory()
             if index:
@@ -246,6 +272,28 @@ class StreamTriadMtWorkload:
     def threads(self, cpus: int, spec) -> List[Tuple[str, ThreadBody]]:
         return [(f"triad-worker-{index}", self._body(index, spec))
                 for index in range(max(1, cpus))]
+
+    def shard_plans(self, cpus: int, spec) -> List[KernelShardPlan]:
+        """Describe the shards for the static race detector.
+
+        Mirrors ``_body``'s per-thread allocation exactly (including the
+        address-stride shift), so the plan addresses are the ones the
+        threads will load and store through.
+        """
+        plans: List[KernelShardPlan] = []
+        for index in range(max(1, cpus)):
+            memory = Memory()
+            if index:
+                memory.malloc(index * THREAD_ADDRESS_STRIDE)
+            a = memory.alloc_float_array([0.0] * self.n)
+            b = memory.alloc_float_array(_random_floats(self.n, 13 + index))
+            c = memory.alloc_float_array(_random_floats(self.n, 14 + index))
+            plans.append(KernelShardPlan(
+                thread=f"triad-worker-{index}", source=TRIAD_SLICE_SOURCE,
+                filename="triad.c", function="triad",
+                args=(a, b, c, 3.0, self.n),
+            ))
+        return plans
 
     def executable(self, machine: Machine, task: Task,
                    spec) -> Callable[[], None]:
@@ -331,6 +379,25 @@ class ForkJoinCalltreeWorkload:
     def threads(self, cpus: int, spec) -> List[Tuple[str, ThreadBody]]:
         count = max(1, cpus) * self.workers_per_hart
         return [(f"forkjoin-worker-{index}", self._body(index, spec))
+                for index in range(count)]
+
+    def shard_plans(self, cpus: int, spec) -> List[TraceShardPlan]:
+        """Describe the shards for the static race detector.
+
+        A :class:`~repro.workloads.synthetic.TraceExecutor` lays function
+        working sets out from ``0x2000_0000 + address_offset``, advancing by
+        ``max(working_set_bytes, 4096) * 2`` per function, so a worker's
+        whole footprint fits the summed envelope regardless of the order in
+        which its seeded trace first touches each function.
+        """
+        tree = forkjoin_tree(self.scale)
+        extent = sum(max(f.mix.working_set_bytes, 4096) * 2
+                     for f in tree.functions.values())
+        count = max(1, cpus) * self.workers_per_hart
+        return [TraceShardPlan(
+                    thread=f"forkjoin-worker-{index}",
+                    base=0x2000_0000 + index * THREAD_ADDRESS_STRIDE,
+                    extent=extent)
                 for index in range(count)]
 
     def executable(self, machine: Machine, task: Task,

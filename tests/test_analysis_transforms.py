@@ -296,3 +296,85 @@ class TestExtractorAndInstrumentation:
         build_roofline_pipeline(vector_width=4, instrument_first=True).run(module)
         verify_module(module)
         assert module.has_function("dot_loop0_instrumented")
+
+
+class TestVerifyEachWiring:
+    """Satellite of the static-analysis subsystem: the IR verifier runs
+    between passes when requested, and failures localise the culprit."""
+
+    def _module(self):
+        return compile_source(DOT_SOURCE, "dot.c")
+
+    def test_broken_pass_is_named_with_function_and_block(self):
+        from repro.compiler.ir.verifier import VerificationError
+        from repro.compiler.transforms.pass_manager import ModulePass, PassManager
+
+        class DropTerminators(ModulePass):
+            name = "drop-terminators"
+
+            def run_on_module(self, module):
+                for function in module.defined_functions():
+                    entry = function.entry_block
+                    entry.instructions = [i for i in entry.instructions
+                                          if not i.is_terminator]
+                return True
+
+        manager = PassManager(verify_each=True)
+        manager.add(ConstantFoldPass()).add(DropTerminators())
+        with pytest.raises(VerificationError) as excinfo:
+            manager.run(self._module())
+        message = str(excinfo.value)
+        assert "after pass 'drop-terminators'" in message
+        assert "dot/entry" in message and "terminator" in message
+
+    def test_without_verify_each_one_final_verification_still_guards(self):
+        from repro.compiler.ir.verifier import VerificationError
+        from repro.compiler.transforms.pass_manager import ModulePass, PassManager
+
+        class DropTerminators(ModulePass):
+            name = "drop-terminators"
+
+            def run_on_module(self, module):
+                for function in module.defined_functions():
+                    entry = function.entry_block
+                    entry.instructions = [i for i in entry.instructions
+                                          if not i.is_terminator]
+                return True
+
+        manager = PassManager(verify_each=False)
+        manager.add(DropTerminators())
+        with pytest.raises(VerificationError, match="after the pass pipeline"):
+            manager.run(self._module())
+
+    def test_env_flag_requests_verification(self, monkeypatch):
+        from repro.compiler.transforms.pipeline import (
+            VERIFY_IR_ENV,
+            resolve_verify_each,
+            verify_ir_requested,
+        )
+
+        monkeypatch.delenv(VERIFY_IR_ENV, raising=False)
+        assert not verify_ir_requested()
+        assert resolve_verify_each(None) is False
+        assert resolve_verify_each(True) is True
+        monkeypatch.setenv(VERIFY_IR_ENV, "1")
+        assert verify_ir_requested()
+        assert resolve_verify_each(None) is True
+        assert resolve_verify_each(False) is False
+        monkeypatch.setenv(VERIFY_IR_ENV, "0")
+        assert not verify_ir_requested()
+
+    def test_spec_carries_verify_ir_through_compile_cache(self):
+        from repro.api import ProfileSpec
+        from repro.compiler.cache import compile_source_cached
+        from repro.platforms import spacemit_x60
+
+        spec = ProfileSpec()
+        assert spec.verify_ir is False
+        verifying = spec.with_ir_verification()
+        assert verifying.verify_ir is True
+        assert verifying.to_dict()["verify_ir"] is True
+        # A verified compile produces the same (cached, certified) module.
+        module = compile_source_cached(DOT_SOURCE, "dot.c", spacemit_x60(),
+                                       True, verify_ir=True)
+        assert module.get_function("dot") is not None

@@ -42,6 +42,10 @@ CASES = {
         "--workload", "forkjoin-calltree", "--cpus", "2",
         "--period", "2000", "--json",
     ],
+    "analyze_stream_triad_mt_x60_2harts.json": [
+        "analyze", "--workload", "stream-triad-mt",
+        "--cpus", "2", "-p", "x60", "--json",
+    ],
 }
 
 
