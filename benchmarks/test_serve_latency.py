@@ -1,0 +1,92 @@
+"""Service latency benchmark: warm cache-hit serving vs a cold CLI process.
+
+The whole point of profiling-as-a-service is that a repeated request should
+not pay a fresh interpreter start, imports, machine construction, compiles
+or the run itself.  This benchmark measures exactly that end to end:
+
+* **cold** -- one ``python -m repro stat --json`` subprocess, the way a
+  script would shell out to the profiler (process start + imports + run);
+* **warm** -- the same request against a running daemon whose result cache
+  already holds it (HTTP round trip + cache lookup), best of several tries.
+
+The measured speedup lands in ``benchmarks/output/BENCH_serve.json`` and
+must clear ``REPRO_MIN_SERVE_SPEEDUP`` (default 5x; the observed margin is
+orders of magnitude -- milliseconds vs seconds -- so the floor only trips
+if warm serving fundamentally regresses).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import BackgroundServer, ServiceConfig
+
+#: The profiled request, identical on both sides.
+PLATFORM = "SpacemiT X60"
+WORKLOAD = "memset"
+
+#: Required cold-process / warm-cache-hit latency ratio.
+MIN_SERVE_SPEEDUP = float(os.environ.get("REPRO_MIN_SERVE_SPEEDUP", "5"))
+
+#: Warm round trips to sample (best-of, to shed scheduler noise).
+WARM_TRIES = 10
+
+
+def _cold_cli_seconds() -> float:
+    """One full ``repro stat --json`` subprocess, timed end to end."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro", "stat",
+            "--workload", WORKLOAD, "-p", PLATFORM, "--json"]
+    start = time.perf_counter()
+    result = subprocess.run(argv, capture_output=True, text=True, env=env,
+                            timeout=600)
+    elapsed = time.perf_counter() - start
+    assert result.returncode == 0, result.stderr
+    return elapsed
+
+
+def test_warm_serving_beats_cold_process_start(output_dir):
+    config = ServiceConfig(port=0, workers=0, warm_kernels=False)
+    with BackgroundServer(config) as background:
+        client = ServiceClient(background.address)
+        request = {"platform": PLATFORM, "workload": WORKLOAD,
+                   "spec": {"analyses": ["stat"]}}
+        fill = client.run(request, with_meta=True)        # fill the cache
+        assert fill.cache == "miss"
+
+        warm_times = []
+        for _ in range(WARM_TRIES):
+            start = time.perf_counter()
+            reply = client.run(request, with_meta=True)
+            warm_times.append(time.perf_counter() - start)
+            assert reply.cache == "hit"
+        warm_seconds = min(warm_times)
+
+        cold_seconds = _cold_cli_seconds()
+
+    speedup = cold_seconds / warm_seconds
+    payload = {
+        "benchmark": f"repro stat {WORKLOAD} on {PLATFORM}: cold CLI "
+                     "subprocess vs warm cache-hit over HTTP",
+        "cold_cli_seconds": round(cold_seconds, 4),
+        "warm_hit_seconds": round(warm_seconds, 6),
+        "warm_tries": WARM_TRIES,
+        "speedup": round(speedup, 1),
+    }
+    path = os.path.join(output_dir, "BENCH_serve.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nserve: cold {cold_seconds:.2f}s; warm hit "
+          f"{warm_seconds * 1000:.2f}ms; speedup {speedup:.0f}x "
+          f"(floor {MIN_SERVE_SPEEDUP}x)")
+
+    assert speedup > MIN_SERVE_SPEEDUP, (
+        f"warm cache-hit serving only {speedup:.2f}x faster than a cold "
+        f"CLI process (required: {MIN_SERVE_SPEEDUP}x)"
+    )

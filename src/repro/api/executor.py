@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -51,6 +52,64 @@ class RunRequest:
     params: Dict[str, object] = field(default_factory=dict)
     spec: ProfileSpec = field(default_factory=ProfileSpec)
     vendor_driver: bool = True
+
+    # -- wire format --------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The JSON-shaped wire format (what ``repro serve`` accepts).
+
+        Wire requests carry the platform and the workload *by name* so any
+        process -- a service worker, a remote client -- can rebuild them from
+        its own registry; a request holding a concrete descriptor or workload
+        object raises ``ValueError`` (ship those through pickle via
+        :func:`run_many` instead).  ``params`` must be JSON-serializable.
+        """
+        if not isinstance(self.platform, str):
+            raise ValueError(
+                "only platform names serialize to the wire format; got a "
+                f"{type(self.platform).__name__} (pass the platform by name)"
+            )
+        if not isinstance(self.workload, str):
+            raise ValueError(
+                "only registry workload names serialize to the wire format; "
+                f"got a {type(self.workload).__name__} (pass the workload by "
+                "registry name, with factory parameters in params)"
+            )
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "params": dict(self.params),
+            "spec": self.spec.to_dict(),
+            "vendor_driver": self.vendor_driver,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRequest":
+        """Rebuild a request from its :meth:`to_dict` export.
+
+        The round trip is exact (``RunRequest.from_dict(r.to_dict()) == r``),
+        including through JSON.  ``spec`` may be a partial dict (missing keys
+        take :class:`ProfileSpec` defaults); unknown top-level keys raise
+        ``ValueError`` so a typo cannot silently profile the default.
+        """
+        known = {"platform", "workload", "params", "spec", "vendor_driver"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown RunRequest key(s) {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(known))}"
+            )
+        if "platform" not in payload or "workload" not in payload:
+            raise ValueError("a RunRequest needs 'platform' and 'workload'")
+        spec = payload.get("spec", {})
+        return cls(
+            platform=payload["platform"],
+            workload=payload["workload"],
+            params=dict(payload.get("params", {})),
+            spec=spec if isinstance(spec, ProfileSpec)
+            else ProfileSpec.from_dict(spec),
+            vendor_driver=bool(payload.get("vendor_driver", True)),
+        )
 
 
 def _resolve_workload(request: RunRequest):
@@ -123,13 +182,19 @@ def run_many(requests: Sequence[RunRequest],
              workers: Optional[int] = None) -> List[Run]:
     """Execute *requests* and return their :class:`Run` results in order.
 
-    ``workers`` <= 1 (or a single-request plan) runs serially in-process.
-    More workers fan out over a process pool; every run is deterministic and
-    isolated, so results -- and their order, which always matches the
-    request order -- are bit-identical to the serial path.  ``workers=None``
-    uses one worker per CPU (capped at the plan size).
+    ``workers`` of 0 or 1 (or a single-request plan) runs serially
+    in-process; a negative count raises ``ValueError`` (it is always a bug,
+    not a request for the serial path).  More workers fan out over a process
+    pool; every run is deterministic and isolated, so results -- and their
+    order, which always matches the request order -- are bit-identical to
+    the serial path.  ``workers=None`` uses one worker per CPU (capped at
+    the plan size).  A worker process dying mid-plan (OOM kill, hard crash
+    in a workload) raises a ``RuntimeError`` naming the first affected
+    request instead of surfacing a raw ``BrokenProcessPool`` traceback.
     """
     requests = list(requests)
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0 (got {workers})")
     if workers is None:
         workers = os.cpu_count() or 1
     if workers <= 1 or len(requests) <= 1:
@@ -139,4 +204,19 @@ def run_many(requests: Sequence[RunRequest],
     with ProcessPoolExecutor(max_workers=workers,
                              initializer=_warm_worker,
                              initargs=(_warmup_plan(requests),)) as pool:
-        return list(pool.map(execute_request, requests))
+        futures = [pool.submit(execute_request, request)
+                   for request in requests]
+        results: List[Run] = []
+        for index, (request, future) in enumerate(zip(requests, futures)):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as error:
+                workload = getattr(request.workload, "name", request.workload)
+                raise RuntimeError(
+                    f"a worker process died executing request {index} of "
+                    f"{len(requests)} (platform "
+                    f"{_platform_key(request.platform)!r}, workload "
+                    f"{workload!r}); the pool is broken and the remaining "
+                    "requests were abandoned"
+                ) from error
+        return results

@@ -146,6 +146,18 @@ class Run:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
+    def deterministic_dict(self) -> dict:
+        """:meth:`to_dict` without the wall-clock ``timings`` key.
+
+        Everything else a Run exports is byte-reproducible across processes
+        and Python versions (the golden suite pins it); this is the export
+        the service layer caches and serves -- two identical requests must
+        produce identical bytes, so the one host-volatile field stays out.
+        """
+        payload = self.to_dict()
+        payload.pop("timings", None)
+        return payload
+
     def format_timings(self) -> str:
         """One-line wall-clock phase report (the CLI's ``--timings`` output)."""
         if not self.timings:

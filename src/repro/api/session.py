@@ -144,6 +144,44 @@ class Session:
             self._smp_machines[key] = machine
         return machine
 
+    def adopt_machine(self, machine: Machine,
+                      vendor_driver: Optional[bool] = None) -> None:
+        """Install a pre-built machine as this session's cached machine.
+
+        The warm pools in :mod:`repro.service` construct machines ahead of
+        demand and hand each one to exactly one request; adopting makes the
+        session use the pre-built machine instead of building its own.  The
+        machine must model this session's platform, and it must not have run
+        anything yet: a machine's *first* run is bit-identical to a fresh
+        machine's, but PMU/cache state persists across runs, so a reused
+        machine would break the byte-reproducibility the result cache
+        depends on.
+        """
+        if machine.name != self.descriptor.name:
+            raise ValueError(
+                f"machine models {machine.name!r}, session is bound to "
+                f"{self.descriptor.name!r}"
+            )
+        key = (self.default_vendor_driver if vendor_driver is None
+               else vendor_driver)
+        self._machines[key] = machine
+
+    def adopt_smp_machine(self, machine, cpus: int,
+                          vendor_driver: Optional[bool] = None) -> None:
+        """Install a pre-built multi-hart machine (see :meth:`adopt_machine`)."""
+        if machine.name != self.descriptor.name:
+            raise ValueError(
+                f"machine models {machine.name!r}, session is bound to "
+                f"{self.descriptor.name!r}"
+            )
+        if getattr(machine, "cpus", cpus) != cpus:
+            raise ValueError(
+                f"machine has {machine.cpus} harts, adopted under cpus={cpus}"
+            )
+        key = (self.default_vendor_driver if vendor_driver is None
+               else vendor_driver, cpus)
+        self._smp_machines[key] = machine
+
     @property
     def platform(self) -> str:
         return self.descriptor.name

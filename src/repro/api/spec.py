@@ -207,3 +207,29 @@ class ProfileSpec:
             "verify_ir": self.verify_ir,
             "analyses": list(self.analyses),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProfileSpec":
+        """Rebuild a spec from its :meth:`to_dict` export (the wire format).
+
+        The round trip is exact: ``ProfileSpec.from_dict(spec.to_dict()) ==
+        spec`` for every valid spec, including through a JSON encode/decode
+        (events travel by their string values, analyses as a list).  Missing
+        keys take the dataclass defaults, so partial dicts -- hand-written
+        service requests -- work too; an unknown key raises ``ValueError``
+        instead of being silently dropped.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - fields)
+        if unknown:
+            raise ValueError(
+                f"unknown ProfileSpec key(s) {', '.join(unknown)}; "
+                f"valid keys: {', '.join(sorted(fields))}"
+            )
+        kwargs: dict = {key: payload[key] for key in fields & set(payload)}
+        if "events" in kwargs:
+            kwargs["events"] = tuple(HwEvent(value)
+                                     for value in payload["events"])
+        if "analyses" in kwargs:
+            kwargs["analyses"] = tuple(payload["analyses"])
+        return cls(**kwargs)

@@ -1,0 +1,81 @@
+"""Content-addressed result cache: bounded LRU over serialized responses.
+
+The cache maps :func:`repro.service.wire.cache_key` digests to the exact
+response bytes a previous execution produced.  Because every export the
+service serves is byte-reproducible (``Run.deterministic_dict`` -- the
+golden and differential suites enforce it), serving a hit is correctness-
+equivalent to re-running the request; the cache is purely a throughput
+lever, so its policy can stay simple: least-recently-used eviction under a
+fixed entry bound.
+
+Accounting distinguishes *hits* (served from cache), *misses* (executed,
+then filled) and *bypasses* (client sent the no-cache header: executed and
+re-filled without consulting the cache), plus evictions -- the numbers
+``GET /metrics`` reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class ResultCache:
+    """Bounded LRU of ``key -> response bytes`` with hit/miss accounting."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 (got {max_entries})")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached bytes for *key*, refreshing recency; counts hit/miss."""
+        body = self._entries.get(key)
+        if body is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return body
+
+    def put(self, key: str, body: bytes) -> None:
+        """Fill (or refresh) *key*, evicting the LRU tail past the bound."""
+        self._entries[key] = body
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def note_bypass(self) -> None:
+        """Record a request that skipped the lookup on client request."""
+        self.bypasses += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "hit_ratio": round(self.hit_ratio, 6),
+        }

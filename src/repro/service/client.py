@@ -1,0 +1,164 @@
+"""ServiceClient: the programmatic (and CLI ``--server``) client.
+
+Stdlib-only (``urllib.request``), matching the daemon's stdlib-only HTTP.
+Every method returns the parsed JSON payload; HTTP errors surface as
+:class:`ServiceError` carrying the status code and the daemon's structured
+``{"error": {...}}`` body, so callers can branch on ``status`` / ``retry_after``
+instead of parsing prose.
+
+The responses' serving metadata travels in headers (``X-Repro-Cache``,
+``X-Repro-Elapsed-Ms``); :meth:`ServiceClient.run` exposes it via the
+``Response``-style tuple-free :class:`ServiceReply` wrapper only when asked
+(``with_meta=True``) so the common path stays a plain dict.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure from the daemon, with its structured body."""
+
+    def __init__(self, status: int, payload: dict,
+                 headers: Optional[dict] = None):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message") or f"service returned HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+        self.kind = error.get("type", "Unknown")
+        self.headers = dict(headers or {})
+        retry = error.get("retry_after", self.headers.get("Retry-After"))
+        try:
+            self.retry_after: Optional[float] = (
+                float(retry) if retry is not None else None)
+        except (TypeError, ValueError):
+            self.retry_after = None
+
+
+@dataclass
+class ServiceReply:
+    """A parsed response plus its serving metadata headers."""
+
+    payload: dict
+    #: ``hit`` / ``miss`` / ``bypass`` / ``coalesced`` (absent on GETs).
+    cache: Optional[str]
+    #: Daemon-side service time in milliseconds.
+    elapsed_ms: Optional[float]
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` daemon.
+
+    >>> client = ServiceClient("http://127.0.0.1:8787")
+    >>> result = client.run({"platform": "x60", "workload": "memset",
+    ...                      "spec": {"events": ["cycles", "instructions"]}})
+    >>> result["run"]["stat"]["counts"]  # doctest: +SKIP
+    """
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None,
+                 headers: Optional[Dict[str, str]] = None) -> ServiceReply:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json",
+                     **(headers or {})})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                raw = response.read()
+                reply_headers = dict(response.headers.items())
+                status = response.status
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {"error": {"type": "Unknown",
+                                     "message": raw.decode("utf-8",
+                                                           "replace")}}
+            raise ServiceError(error.code, payload,
+                               dict(error.headers.items())) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(0, {"error": {
+                "type": "Unreachable",
+                "message": f"could not reach {self.base_url}: "
+                           f"{error.reason}"}}) from None
+        if raw and reply_headers.get("Content-Type",
+                                     "").startswith("application/json"):
+            payload = json.loads(raw.decode("utf-8"))
+        else:
+            payload = {"text": raw.decode("utf-8", "replace")}
+        elapsed = reply_headers.get("X-Repro-Elapsed-Ms")
+        return ServiceReply(
+            payload=payload,
+            cache=reply_headers.get("X-Repro-Cache"),
+            elapsed_ms=float(elapsed) if elapsed else None)
+
+    @staticmethod
+    def _bypass_headers(bypass_cache: bool) -> Dict[str, str]:
+        return {"X-Repro-No-Cache": "1"} if bypass_cache else {}
+
+    # -- profiling endpoints ------------------------------------------------------------
+
+    def run(self, request: dict, bypass_cache: bool = False,
+            with_meta: bool = False):
+        """Execute one JSON-shaped RunRequest; returns the run payload."""
+        reply = self._request("POST", "/run", request,
+                              self._bypass_headers(bypass_cache))
+        return reply if with_meta else reply.payload
+
+    def plan(self, requests: Sequence[dict], bypass_cache: bool = False,
+             with_meta: bool = False):
+        """Execute a batch of RunRequests; misses run concurrently."""
+        reply = self._request("POST", "/plan", {"requests": list(requests)},
+                              self._bypass_headers(bypass_cache))
+        return reply if with_meta else reply.payload
+
+    def compare(self, platforms: Sequence[str], workload: str,
+                spec: Optional[dict] = None,
+                params: Optional[dict] = None,
+                bypass_cache: bool = False, with_meta: bool = False):
+        body = {"platforms": list(platforms), "workload": workload,
+                "spec": spec or {}, "params": params or {}}
+        reply = self._request("POST", "/compare", body,
+                              self._bypass_headers(bypass_cache))
+        return reply if with_meta else reply.payload
+
+    def analyze(self, platform: str, workload: Optional[str] = None,
+                cpus: int = 1, params: Optional[dict] = None,
+                all_workloads: bool = False,
+                bypass_cache: bool = False, with_meta: bool = False):
+        body = {"platform": platform, "workload": workload, "cpus": cpus,
+                "params": params or {}, "all": all_workloads}
+        reply = self._request("POST", "/analyze", body,
+                              self._bypass_headers(bypass_cache))
+        return reply if with_meta else reply.payload
+
+    # -- introspection endpoints --------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz").payload
+
+    def capabilities(self) -> dict:
+        return self._request("GET", "/capabilities").payload
+
+    def metrics(self, format: str = "json"):
+        """The daemon's metrics -- a dict, or Prometheus text when asked."""
+        if format == "prometheus":
+            reply = self._request("GET", "/metrics?format=prometheus")
+            return reply.payload["text"]
+        return self._request("GET", "/metrics").payload

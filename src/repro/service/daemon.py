@@ -1,0 +1,695 @@
+"""The ``repro serve`` daemon: asyncio HTTP/1.1, admission control, caching.
+
+A dependency-free profiling service (``asyncio.start_server`` plus a
+hand-rolled HTTP/1.1 reader/writer -- the repo takes no third-party
+packages).  Request lifecycle::
+
+    client ──► admission ──► result cache ──► warm pool ──► cache fill ──► client
+                  │               │
+                  │               └─ hit: serve cached bytes, no worker
+                  └─ queue full: 429 + Retry-After
+
+Endpoints:
+
+* ``POST /run``     -- one JSON-shaped :class:`~repro.api.executor.RunRequest`;
+  responds ``{"run": ..., "renderings": ...}``.
+* ``POST /plan``    -- ``{"requests": [...]}``; each item is served from the
+  same per-request cache, misses execute concurrently across the pool.
+* ``POST /compare`` -- ``{"platforms": [...], "workload": ..., "spec": ...}``;
+  responds ``{"comparison": ..., "report": ...}``.
+* ``POST /analyze`` -- ``{"platform": ..., "workload"|"all": ...}``; the
+  static-analysis report.
+* ``GET /metrics``  -- JSON, or Prometheus text with ``?format=prometheus``.
+* ``GET /healthz``, ``GET /capabilities``.
+
+Backpressure: at most ``queue_limit`` requests may be admitted (executing +
+waiting) at once; past that the daemon answers 429 with a ``Retry-After``
+hint instead of queueing unboundedly.  Admitted requests run under a
+concurrency semaphore sized to the worker pool and a per-request timeout
+(504 on expiry; the slot is held until the worker actually finishes, so a
+timed-out request cannot hide load from admission control).  A worker
+process dying fails only the in-flight requests (structured 500s) and
+respawns the pool once.
+
+Identical concurrent requests are coalesced: the second request awaits the
+first's execution instead of occupying a second worker, then both are
+served the same bytes -- the same dedup the result cache provides, extended
+to the in-flight window.
+
+Responses carry ``X-Repro-Cache: hit|miss|bypass|coalesced`` and
+``X-Repro-Elapsed-Ms`` headers; cached *bodies* are byte-identical across
+hit and fill, which the end-to-end determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.api.executor import RunRequest
+from repro.service import pool as pool_module
+from repro.service import wire
+from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import WarmPool, WorkerCrash
+
+
+def _now() -> float:
+    """Host wall-clock, for served-latency metrics only.
+
+    Latency histograms and Retry-After hints are observability, not model
+    state: nothing here feeds modelled time, cached bodies or any golden
+    output (the metrics goldens normalize latency fields).  Every clock
+    read in the service funnels through this one audited site.
+    """
+    return perf_counter()  # repro-lint: allow[wall-clock] -- served-latency metrics and Retry-After hints only; never modelled time or cached bytes
+
+
+#: Upper bound on accepted request bodies (a plan of a few thousand requests
+#: fits; anything bigger is a client bug, answered with 413).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Header clients set to skip the cache lookup (the fill still happens).
+BYPASS_HEADER = "x-repro-no-cache"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` is configured by."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    #: Worker processes; 0 executes inline on one daemon-side thread.
+    workers: int = 2
+    #: Admission bound: executing + queued requests past this get 429.
+    queue_limit: int = 32
+    #: Per-request execution timeout in seconds (504 past it).
+    request_timeout: float = 300.0
+    #: Result-cache entry bound.
+    cache_entries: int = 256
+    #: Platforms whose machines/kernels the pool initializer pre-warms.
+    warm_platforms: Tuple[str, ...] = ("SpacemiT X60",)
+    #: Hart counts to pre-build machines for, per warm platform.
+    warm_cpus: Tuple[int, ...] = (1,)
+    #: Whether the initializer precompiles every registry kernel workload.
+    warm_kernels: bool = True
+
+
+class _Reject(Exception):
+    """An error response decided before/without executing (status + body)."""
+
+    def __init__(self, status: int, payload: dict,
+                 headers: Optional[dict] = None):
+        super().__init__(payload.get("error", {}).get("message", ""))
+        self.status = status
+        self.payload = payload
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+
+class ReproService:
+    """One daemon instance: server socket, cache, metrics, warm pool."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.cache = ResultCache(config.cache_entries)
+        self.metrics = ServiceMetrics()
+        warm_configs = [(self._canonical_platform(name), True, cpus)
+                        for name in config.warm_platforms
+                        for cpus in config.warm_cpus]
+        kernel_plan = (pool_module.warm_kernel_plan(
+            [self._canonical_platform(name)
+             for name in config.warm_platforms])
+            if config.warm_kernels else ())
+        self.pool = WarmPool(config.workers, warm_configs, kernel_plan)
+        self._slots = asyncio.Semaphore(self.pool.concurrency)
+        self._admitted = 0
+        self._in_flight = 0
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+
+    @property
+    def port(self) -> int:
+        """The bound port (differs from the config's when it asked for 0)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.pool.shutdown()
+
+    # -- HTTP plumbing ------------------------------------------------------------------
+
+    @staticmethod
+    def _canonical_platform(name: str) -> str:
+        from repro.platforms import platform_by_name
+        return platform_by_name(name).name
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _HttpRequest:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", "empty request line"))
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2))
+        except ValueError:
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", "malformed request line")) from None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) > 100:
+                raise _Reject(400, wire.error_payload(
+                    "BadRequest", "too many headers"))
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", "malformed Content-Length")) from None
+        if length > MAX_BODY_BYTES:
+            raise _Reject(413, wire.error_payload(
+                "PayloadTooLarge",
+                f"request body exceeds {MAX_BODY_BYTES} bytes"))
+        body = await reader.readexactly(length) if length else b""
+        path, _sep, query_string = target.partition("?")
+        query: Dict[str, str] = {}
+        for pair in query_string.split("&"):
+            if pair:
+                key, _sep, value = pair.partition("=")
+                query[key] = value
+        return _HttpRequest(method=method, path=path, query=query,
+                            headers=headers, body=body)
+
+    @staticmethod
+    def _write_response(writer: asyncio.StreamWriter, status: int,
+                        body: bytes, content_type: str = "application/json",
+                        headers: Optional[dict] = None) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        status, body = 500, wire.encode_body(
+            wire.error_payload("Internal", "unhandled service error"))
+        content_type, extra = "application/json", {}
+        started = _now()
+        endpoint = "unknown"
+        try:
+            request = await self._read_request(reader)
+            endpoint = f"{request.method} {request.path}"
+            status, body, content_type, extra = await self._dispatch(request)
+        except _Reject as reject:
+            status, body = reject.status, wire.encode_body(reject.payload)
+            extra = reject.headers
+            if reject.status == 429:
+                self.metrics.rejected += 1
+            else:
+                self.metrics.errors += 1
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as error:  # a daemon bug must not kill the server
+            status = 500
+            body = wire.encode_body(wire.error_payload(
+                type(error).__name__, str(error)))
+            self.metrics.errors += 1
+        elapsed = _now() - started
+        self.metrics.count_request(endpoint)
+        self.metrics.observe_latency(endpoint, elapsed)
+        extra = dict(extra)
+        extra.setdefault("X-Repro-Elapsed-Ms", f"{elapsed * 1000:.3f}")
+        try:
+            self._write_response(writer, status, body, content_type, extra)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    # -- routing ------------------------------------------------------------------------
+
+    async def _dispatch(self, request: _HttpRequest):
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return 200, wire.encode_body(self._healthz()), "application/json", {}
+        if route == ("GET", "/metrics"):
+            return self._metrics_response(request)
+        if route == ("GET", "/capabilities"):
+            return 200, wire.encode_body(self._capabilities()), \
+                "application/json", {}
+        if route == ("POST", "/run"):
+            return await self._handle_run(request)
+        if route == ("POST", "/plan"):
+            return await self._handle_plan(request)
+        if route == ("POST", "/compare"):
+            return await self._handle_compare(request)
+        if route == ("POST", "/analyze"):
+            return await self._handle_analyze(request)
+        known_paths = {"/healthz", "/metrics", "/capabilities", "/run",
+                       "/plan", "/compare", "/analyze"}
+        if request.path in known_paths:
+            raise _Reject(405, wire.error_payload(
+                "MethodNotAllowed",
+                f"{request.method} not supported on {request.path}"))
+        raise _Reject(404, wire.error_payload(
+            "NotFound", f"unknown path {request.path}"))
+
+    # -- simple GET endpoints -----------------------------------------------------------
+
+    def _gauges(self) -> dict:
+        return {
+            "queue_depth": max(0, self._admitted - self._in_flight),
+            "in_flight": self._in_flight,
+            "queue_limit": self.config.queue_limit,
+        }
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "workers": self.config.workers,
+            "worker_restarts": self.pool.restarts,
+            "admitted": self._admitted,
+            "queue_limit": self.config.queue_limit,
+        }
+
+    def _metrics_response(self, request: _HttpRequest):
+        wants_prometheus = (
+            request.query.get("format") == "prometheus"
+            or "text/plain" in request.headers.get("accept", ""))
+        self.metrics.worker_restarts = self.pool.restarts
+        if wants_prometheus:
+            text = self.metrics.prometheus(self._gauges(), self.cache.stats())
+            return 200, text.encode("utf-8"), \
+                "text/plain; version=0.0.4; charset=utf-8", {}
+        payload = self.metrics.to_dict(self._gauges(), self.cache.stats())
+        return 200, wire.encode_body(payload), "application/json", {}
+
+    def _capabilities(self) -> dict:
+        from repro.platforms import all_platforms
+        from repro.pmu.vendors import all_capabilities
+        from repro.workloads import registry
+        capabilities = all_capabilities()
+        return {
+            "capabilities": [capabilities[d.name].as_row()
+                             for d in all_platforms() if d.is_riscv],
+            "platforms": [
+                {"name": d.name, "arch": d.arch, "board": d.board,
+                 "harts": d.harts,
+                 "vector": d.vector.extension or "none"}
+                for d in all_platforms()
+            ],
+            "workloads": list(registry),
+            "endpoints": ["/run", "/plan", "/compare", "/analyze",
+                          "/metrics", "/healthz", "/capabilities"],
+        }
+
+    # -- executing endpoints ------------------------------------------------------------
+
+    def _parse_json(self, request: _HttpRequest) -> dict:
+        try:
+            payload = json.loads(request.body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", f"request body is not valid JSON: {error}"
+            )) from None
+        if not isinstance(payload, dict):
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", "request body must be a JSON object"))
+        return payload
+
+    def _canonical_run_request(self, payload: dict) -> dict:
+        """Validate + canonicalize one run request (platform alias, spec
+        defaults, workload existence) so equivalent spellings share a cache
+        key and bad requests fail with 400 before touching a worker."""
+        from repro.workloads import registry
+        try:
+            request = RunRequest.from_dict(payload)
+            canonical = request.to_dict()
+            canonical["platform"] = self._canonical_platform(
+                canonical["platform"])
+            if canonical["workload"] not in registry:
+                raise ValueError(
+                    f"unknown workload {canonical['workload']!r}; "
+                    f"available: {', '.join(sorted(registry))}")
+        except (KeyError, ValueError, TypeError) as error:
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", str(error))) from None
+        return canonical
+
+    def _bypass(self, request: _HttpRequest) -> bool:
+        return request.headers.get(BYPASS_HEADER, "") not in ("", "0")
+
+    def _check_admission(self, slots_needed: int = 1) -> None:
+        if self._admitted + slots_needed > self.config.queue_limit:
+            retry_after = max(1, int(self.config.request_timeout / 10))
+            raise _Reject(
+                429,
+                wire.error_payload(
+                    "Overloaded",
+                    f"admission queue is full ({self._admitted} admitted, "
+                    f"limit {self.config.queue_limit}); retry later",
+                    retry_after=retry_after),
+                headers={"Retry-After": str(retry_after)})
+
+    async def _execute_job(self, endpoint: str,
+                           fn: Callable[[dict], dict],
+                           payload: dict) -> dict:
+        """Run one admitted job on the pool under slot + timeout control.
+
+        The admission slot and the concurrency slot are both released when
+        the worker *finishes* (future done callback), not when the await
+        ends -- a timed-out request keeps occupying capacity until its
+        worker is actually free, so admission control never oversubscribes.
+        """
+        loop = asyncio.get_running_loop()
+        self._admitted += 1
+        await self._slots.acquire()
+        self._in_flight += 1
+        generation = self.pool.generation
+        try:
+            future = self.pool.submit(fn, payload)
+        except Exception as error:
+            self._release_job()
+            self.pool.respawn(generation)
+            raise _Reject(503, wire.error_payload(
+                "WorkerPoolUnavailable",
+                f"could not submit to the worker pool: {error}")) from None
+        def _release_when_done(_future) -> None:
+            try:
+                loop.call_soon_threadsafe(self._release_job)
+            except RuntimeError:
+                pass  # loop already closed at shutdown; nothing to release
+
+        future.add_done_callback(_release_when_done)
+        self.metrics.count_execution(endpoint)
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(future, loop=loop),
+                self.config.request_timeout)
+        except asyncio.TimeoutError:
+            self.metrics.timeouts += 1
+            raise _Reject(504, wire.error_payload(
+                "Timeout",
+                f"request exceeded the {self.config.request_timeout:g}s "
+                "execution timeout")) from None
+        except WorkerCrash:
+            if self.pool.respawn(generation):
+                note = "the worker pool was respawned"
+            else:
+                note = "the worker pool had already been respawned"
+            raise _Reject(500, wire.error_payload(
+                "WorkerCrashed",
+                f"a worker process died executing this request; {note}; "
+                "retry the request")) from None
+        except (KeyError, ValueError) as error:
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", str(error))) from None
+        except Exception as error:
+            raise _Reject(500, wire.error_payload(
+                type(error).__name__, str(error))) from None
+
+    def _release_job(self) -> None:
+        self._admitted = max(0, self._admitted - 1)
+        self._in_flight = max(0, self._in_flight - 1)
+        self._slots.release()
+
+    async def _execute_cached(self, endpoint: str, kind: str,
+                              fn: Callable[[dict], dict], canonical: dict,
+                              bypass: bool) -> Tuple[bytes, str]:
+        """Serve one canonical request through cache -> coalesce -> pool."""
+        key = wire.cache_key(kind, canonical)
+        if bypass:
+            self.cache.note_bypass()
+        else:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached, "hit"
+            pending = self._pending.get(key)
+            if pending is not None:
+                self.metrics.coalesced += 1
+                body = await asyncio.shield(pending)
+                return body, "coalesced"
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        if not bypass:
+            self._pending[key] = waiter
+        try:
+            result = await self._execute_job(endpoint, fn, canonical)
+            body = wire.encode_body(result["payload"])
+            self.cache.put(key, body)
+            if not waiter.done():
+                waiter.set_result(body)
+            return body, "bypass" if bypass else "miss"
+        except BaseException as error:
+            if not waiter.done():
+                waiter.set_exception(error)
+            # A coalesced waiter that never awaits must not warn on teardown.
+            waiter.exception() if waiter.done() else None
+            raise
+        finally:
+            if self._pending.get(key) is waiter:
+                del self._pending[key]
+
+    async def _handle_run(self, request: _HttpRequest):
+        canonical = self._canonical_run_request(self._parse_json(request))
+        bypass = self._bypass(request)
+        if not bypass and wire.cache_key("run", canonical) not in self.cache \
+                and wire.cache_key("run", canonical) not in self._pending:
+            self._check_admission()
+        elif bypass:
+            self._check_admission()
+        body, cache_state = await self._execute_cached(
+            "POST /run", "run", pool_module.execute_run_payload,
+            canonical, bypass)
+        return 200, body, "application/json", {"X-Repro-Cache": cache_state}
+
+    async def _handle_plan(self, request: _HttpRequest):
+        payload = self._parse_json(request)
+        requests = payload.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise _Reject(400, wire.error_payload(
+                "BadRequest",
+                "a plan needs a non-empty 'requests' list"))
+        canonicals = [self._canonical_run_request(item) for item in requests]
+        bypass = self._bypass(request)
+        keys = [wire.cache_key("run", canonical) for canonical in canonicals]
+        misses = len(keys) if bypass else sum(
+            1 for key in keys
+            if key not in self.cache and key not in self._pending)
+        self._check_admission(misses)
+
+        async def serve_one(canonical: dict):
+            try:
+                return await self._execute_cached(
+                    "POST /plan", "run", pool_module.execute_run_payload,
+                    canonical, bypass)
+            except _Reject as reject:
+                return wire.encode_body(reject.payload), "error"
+
+        results = await asyncio.gather(
+            *(serve_one(canonical) for canonical in canonicals))
+        entries = [json.loads(body.decode("utf-8")) for body, _state in results]
+        states = [state for _body, state in results]
+        body = wire.encode_body({"runs": entries, "cache": states})
+        return 200, body, "application/json", \
+            {"X-Repro-Cache": ",".join(states)}
+
+    async def _handle_compare(self, request: _HttpRequest):
+        payload = self._parse_json(request)
+        from repro.workloads import registry
+        try:
+            platforms = payload.get("platforms")
+            if not isinstance(platforms, list) or len(platforms) < 1:
+                raise ValueError("compare needs a 'platforms' list")
+            workload = payload.get("workload")
+            if workload not in registry:
+                raise ValueError(
+                    f"unknown workload {workload!r}; available: "
+                    f"{', '.join(sorted(registry))}")
+            canonical = {
+                "platforms": [self._canonical_platform(p) for p in platforms],
+                "workload": workload,
+                "params": dict(payload.get("params", {})),
+                "spec": __import__("repro.api.spec", fromlist=["ProfileSpec"])
+                .ProfileSpec.from_dict(payload.get("spec", {})).to_dict(),
+            }
+        except (KeyError, ValueError, TypeError) as error:
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", str(error))) from None
+        bypass = self._bypass(request)
+        if bypass or wire.cache_key("compare", canonical) not in self.cache:
+            self._check_admission()
+        body, cache_state = await self._execute_cached(
+            "POST /compare", "compare", pool_module.execute_compare_payload,
+            canonical, bypass)
+        return 200, body, "application/json", {"X-Repro-Cache": cache_state}
+
+    async def _handle_analyze(self, request: _HttpRequest):
+        payload = self._parse_json(request)
+        from repro.workloads import registry
+        try:
+            canonical = {
+                "platform": self._canonical_platform(
+                    payload.get("platform", "SpacemiT X60")),
+                "cpus": int(payload.get("cpus", 1)),
+                "workload": payload.get("workload"),
+                "params": dict(payload.get("params", {})),
+                "all": bool(payload.get("all", False)),
+            }
+            if not canonical["all"]:
+                if canonical["workload"] not in registry:
+                    raise ValueError(
+                        f"unknown workload {canonical['workload']!r}; "
+                        f"available: {', '.join(sorted(registry))}")
+        except (KeyError, ValueError, TypeError) as error:
+            raise _Reject(400, wire.error_payload(
+                "BadRequest", str(error))) from None
+        bypass = self._bypass(request)
+        if bypass or wire.cache_key("analyze", canonical) not in self.cache:
+            self._check_admission()
+        body, cache_state = await self._execute_cached(
+            "POST /analyze", "analyze", pool_module.execute_analyze_payload,
+            canonical, bypass)
+        return 200, body, "application/json", {"X-Repro-Cache": cache_state}
+
+
+# -- entry points -------------------------------------------------------------------------
+
+
+async def _serve(config: ServiceConfig,
+                 ready: Optional[Callable[[ReproService], None]] = None) -> None:
+    service = ReproService(config)
+    await service.start()
+    if ready is not None:
+        ready(service)
+    try:
+        await service.serve_forever()
+    finally:
+        await service.close()
+
+
+def serve(config: ServiceConfig,
+          announce: Optional[Callable[[str], None]] = None) -> None:
+    """Run the daemon until interrupted (the ``repro serve`` body)."""
+
+    def _ready(service: ReproService) -> None:
+        if announce is not None:
+            announce(service.address)
+
+    try:
+        asyncio.run(_serve(config, _ready))
+    except KeyboardInterrupt:
+        pass
+
+
+class BackgroundServer:
+    """A daemon running on a background thread -- tests and benchmarks.
+
+    Use as a context manager::
+
+        with BackgroundServer(ServiceConfig(port=0, workers=0)) as server:
+            client = ServiceClient(server.address)
+
+    ``port=0`` binds an ephemeral port; :attr:`address` reports the real one
+    once the server is up.  The service object itself is reachable as
+    :attr:`service` for white-box assertions (cache stats, restart counts).
+    """
+
+    def __init__(self, config: ServiceConfig, startup_timeout: float = 60.0):
+        self.config = config
+        self.startup_timeout = startup_timeout
+        self.service: Optional[ReproService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = None
+
+    @property
+    def address(self) -> str:
+        if self.service is None:
+            raise RuntimeError("server is not running")
+        return self.service.address
+
+    def __enter__(self) -> "BackgroundServer":
+        import threading
+        started = threading.Event()
+        failure: list = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                service = ReproService(self.config)
+                loop.run_until_complete(service.start())
+                self.service = service
+                started.set()
+                loop.run_forever()
+                loop.run_until_complete(service.close())
+            except Exception as error:
+                failure.append(error)
+                started.set()
+            finally:
+                loop.close()
+
+        self._thread = __import__("threading").Thread(
+            target=_run, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not started.wait(self.startup_timeout):
+            raise RuntimeError("service did not start in time")
+        if failure:
+            raise failure[0]
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=self.startup_timeout)

@@ -1,0 +1,184 @@
+"""Service metrics: counters, gauges and latency histograms for ``/metrics``.
+
+The daemon increments these as it serves; ``GET /metrics`` renders them
+either as one JSON document or in the Prometheus text exposition format
+(``?format=prometheus`` or an ``Accept: text/plain`` header), so "heavy
+traffic" is observable with nothing but the stdlib on either end.
+
+Latencies are *observed* wall-clock durations -- the one place the service
+legitimately reads the host clock.  The clock reads happen at the daemon's
+single audited ``_now()`` site; this module only aggregates the durations
+it is handed, so the numbers here never feed modelled time, cached bodies
+or any other deterministic output (the metrics goldens normalize them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Histogram bucket upper bounds, in seconds (Prometheus ``le`` labels).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram of request durations (seconds)."""
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BUCKETS):
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        for index, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def to_dict(self) -> dict:
+        buckets = {}
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket
+            buckets[f"{bound:g}"] = cumulative
+        buckets["+Inf"] = self.count
+        return {
+            "count": self.count,
+            "sum_seconds": round(self.total_seconds, 6),
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Every number the daemon accounts for, in one mutable registry."""
+
+    def __init__(self) -> None:
+        #: Requests seen per endpoint (including rejected/failed ones).
+        self.requests: Dict[str, int] = {}
+        #: Requests that actually executed on a worker, per endpoint.
+        self.executions: Dict[str, int] = {}
+        #: Requests answered by awaiting an identical in-flight execution.
+        self.coalesced = 0
+        #: Requests bounced with 429 by admission control.
+        self.rejected = 0
+        #: Requests that hit the per-request timeout (504).
+        self.timeouts = 0
+        #: Requests that failed with a structured error (4xx/5xx bodies).
+        self.errors = 0
+        #: Worker-pool respawns after a BrokenProcessPool.
+        self.worker_restarts = 0
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    # -- recording ----------------------------------------------------------------------
+
+    def count_request(self, endpoint: str) -> None:
+        self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def count_execution(self, endpoint: str) -> None:
+        self.executions[endpoint] = self.executions.get(endpoint, 0) + 1
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        histogram = self._latency.get(endpoint)
+        if histogram is None:
+            histogram = LatencyHistogram()
+            self._latency[endpoint] = histogram
+        histogram.observe(seconds)
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def to_dict(self, gauges: dict, cache_stats: dict) -> dict:
+        return {
+            "requests": {name: self.requests[name]
+                         for name in sorted(self.requests)},
+            "executions": {name: self.executions[name]
+                           for name in sorted(self.executions)},
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "worker_restarts": self.worker_restarts,
+            "queue": dict(gauges),
+            "cache": dict(cache_stats),
+            "latency_seconds": {name: self._latency[name].to_dict()
+                                for name in sorted(self._latency)},
+        }
+
+    def prometheus(self, gauges: dict, cache_stats: dict) -> str:
+        """The Prometheus text exposition of the same numbers."""
+        lines: List[str] = []
+
+        def counter(name: str, help_text: str,
+                    samples: Sequence[Tuple[str, float]]) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            for labels, value in samples:
+                lines.append(f"{name}{labels} {value:g}")
+
+        counter("repro_requests_total", "Requests seen per endpoint.",
+                [(f'{{endpoint="{name}"}}', self.requests[name])
+                 for name in sorted(self.requests)])
+        counter("repro_executions_total",
+                "Requests executed on a worker, per endpoint.",
+                [(f'{{endpoint="{name}"}}', self.executions[name])
+                 for name in sorted(self.executions)])
+        counter("repro_coalesced_total",
+                "Requests served by awaiting an identical in-flight run.",
+                [("", self.coalesced)])
+        counter("repro_rejected_total",
+                "Requests bounced with 429 by admission control.",
+                [("", self.rejected)])
+        counter("repro_timeouts_total",
+                "Requests that hit the per-request timeout.",
+                [("", self.timeouts)])
+        counter("repro_errors_total",
+                "Requests that failed with a structured error.",
+                [("", self.errors)])
+        counter("repro_worker_restarts_total",
+                "Worker-pool respawns after a crash.",
+                [("", self.worker_restarts)])
+        for name, value in (("repro_cache_hits_total", cache_stats["hits"]),
+                            ("repro_cache_misses_total", cache_stats["misses"]),
+                            ("repro_cache_bypasses_total",
+                             cache_stats["bypasses"]),
+                            ("repro_cache_evictions_total",
+                             cache_stats["evictions"])):
+            counter(name, "Result-cache accounting.", [("", value)])
+
+        for gauge, help_text in (("queue_depth",
+                                  "Admitted requests waiting for a worker."),
+                                 ("in_flight",
+                                  "Requests currently executing."),
+                                 ("queue_limit",
+                                  "Admission bound (queued + executing).")):
+            lines.append(f"# HELP repro_{gauge} {help_text}")
+            lines.append(f"# TYPE repro_{gauge} gauge")
+            lines.append(f"repro_{gauge} {gauges[gauge]:g}")
+        lines.append("# HELP repro_cache_entries Entries in the result cache.")
+        lines.append("# TYPE repro_cache_entries gauge")
+        lines.append(f"repro_cache_entries {cache_stats['entries']:g}")
+
+        lines.append("# HELP repro_request_seconds Request latency.")
+        lines.append("# TYPE repro_request_seconds histogram")
+        for name in sorted(self._latency):
+            histogram = self._latency[name]
+            cumulative = 0
+            for bound, bucket in zip(histogram.bounds,
+                                     histogram.bucket_counts):
+                cumulative += bucket
+                lines.append(
+                    f'repro_request_seconds_bucket{{endpoint="{name}",'
+                    f'le="{bound:g}"}} {cumulative}')
+            lines.append(
+                f'repro_request_seconds_bucket{{endpoint="{name}",'
+                f'le="+Inf"}} {histogram.count}')
+            lines.append(f'repro_request_seconds_sum{{endpoint="{name}"}} '
+                         f'{histogram.total_seconds:.6f}')
+            lines.append(f'repro_request_seconds_count{{endpoint="{name}"}} '
+                         f'{histogram.count}')
+        return "\n".join(lines) + "\n"

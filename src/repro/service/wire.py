@@ -1,0 +1,79 @@
+"""Wire format helpers: canonical payloads, cache keys, structured errors.
+
+Everything the service caches or sends is a JSON document.  The helpers
+here pin down the two properties the whole subsystem rests on:
+
+* **Canonical keys** -- the result cache is content-addressed: a request is
+  hashed over its *canonicalized* dict (round-tripped through
+  :class:`~repro.api.executor.RunRequest` / :class:`~repro.api.spec.
+  ProfileSpec`, platform aliases resolved), so two requests that mean the
+  same run hash the same no matter how the client spelled them (key order,
+  defaulted vs explicit fields, ``x60`` vs ``SpacemiT X60``).
+* **Deterministic bodies** -- cached response bodies are serialized once,
+  compactly, preserving the exporters' deterministic key order, so a cache
+  hit serves byte-identical content to the miss that filled it *and* a
+  client re-dumping a payload with ``indent=2`` reproduces the in-process
+  CLI's ``to_json()`` bytes exactly (``json.loads``/``dumps`` round-trips
+  key order and float repr).
+
+Errors travel as ``{"error": {"type": ..., "message": ...}}`` so clients
+can tell a validation problem from a dead worker from a timeout without
+parsing prose.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+
+def canonical_json(payload: object) -> str:
+    """The key-order-insensitive serialization cache keys hash over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def encode_body(payload: object) -> bytes:
+    """Serialize a response payload to the bytes the cache stores/serves.
+
+    Key order is *preserved*, not sorted: the exporters build their dicts in
+    a fixed order, so the bytes are deterministic anyway, and preserving it
+    lets ``--server`` clients re-dump payloads into output byte-identical to
+    the in-process CLI's.
+    """
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def cache_key(kind: str, canonical_request: dict) -> str:
+    """Content address of one request: sha256 over (kind, canonical dict).
+
+    ``kind`` (``run``/``compare``/``analyze``) keeps the namespaces of the
+    different endpoints disjoint even where their request dicts could
+    collide.
+    """
+    body = canonical_json({"kind": kind, "request": canonical_request})
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def error_payload(kind: str, message: str,
+                  retry_after: Optional[float] = None) -> dict:
+    entry: dict = {"type": kind, "message": message}
+    if retry_after is not None:
+        entry["retry_after"] = retry_after
+    return {"error": entry}
+
+
+def strip_timings(payload: object) -> object:
+    """Drop every ``timings`` key, recursively.
+
+    Wall-clock phase timings are the one intentionally non-deterministic
+    field a :class:`~repro.api.run.Run` exports; anything the cache stores
+    must exclude them (nested occurrences included -- a Comparison embeds
+    one Run per platform).
+    """
+    if isinstance(payload, dict):
+        return {key: strip_timings(value) for key, value in payload.items()
+                if key != "timings"}
+    if isinstance(payload, list):
+        return [strip_timings(item) for item in payload]
+    return payload

@@ -22,7 +22,16 @@ and vendor-driver setting goes down exactly one code path.
   race verdicts for parallel workloads); nonzero exit on ``racy``/
   ``unknown`` race verdicts;
 * ``lint [paths]``            -- the determinism linter over the repo's own
-  source (or the given paths); nonzero exit on violations.
+  source (or the given paths); nonzero exit on violations;
+* ``serve``                   -- the profiling daemon (warm worker pools,
+  content-addressed result cache, bounded admission with backpressure);
+  see :mod:`repro.service`.
+
+``--server URL`` on stat/record/compare/analyze sends the request to a
+running ``repro serve`` daemon instead of profiling in process; the output
+is the same modulo the wall-clock ``timings`` key, which the service's
+content-addressed cache must exclude (``--timings`` therefore prints
+nothing remotely).
 
 ``--cpus N`` on stat/record/flamegraph/compare profiles on an N-hart SMP
 machine (per-hart columns, cpu-tagged samples, hart-labelled flame graphs);
@@ -50,14 +59,13 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.analysis.blockdelta import verdicts_for
-from repro.analysis.dataflow import max_live_values, reaching_definitions
 from repro.analysis.lint import default_lint_root, iter_python_files, lint_paths
-from repro.analysis.races import analyze_parallel_workload, supports_shard_plans
-from repro.analysis.ranges import analyze_address_ranges
+from repro.analysis.report import (
+    build_analyze_report,
+    failed_certifications,
+    format_analyze_report,
+)
 from repro.api import ProfileSpec, Session
-from repro.compiler.cache import compile_source_cached
-from repro.compiler.targets import target_for_platform
 from repro.flamegraph import render_text
 from repro.miniperf import Miniperf
 from repro.miniperf.groups import SamplingNotSupportedError
@@ -65,7 +73,6 @@ from repro.kernel.perf_event import PerfEventOpenError
 from repro.platforms import Machine, all_platforms, platform_by_name
 from repro.pmu.vendors import all_capabilities
 from repro.roofline.plot import render_ascii_roofline, render_svg_roofline
-from repro.vm import Memory
 from repro.workloads import registry
 
 
@@ -185,8 +192,59 @@ def _print_timings(args: argparse.Namespace, *runs) -> None:
             print(run.format_timings(), file=sys.stderr)
 
 
+# -- --server plumbing --------------------------------------------------------------------
+#
+# Every profiling subcommand takes --server URL: instead of profiling in
+# process it ships the same JSON-shaped RunRequest to a `repro serve` daemon
+# and prints the daemon's response.  Output is byte-identical to the local
+# path modulo the wall-clock `timings` key (the one field the service's
+# content-addressed cache must exclude): --json re-dumps the served run with
+# the same indent, and text output prints the worker-side renderings of the
+# very same result objects.
+
+
+def _remote_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+    return ServiceClient(args.server)
+
+
+def _remote_request(args: argparse.Namespace, spec: ProfileSpec) -> dict:
+    """The JSON-shaped RunRequest a subcommand's flags describe."""
+    return {
+        "platform": args.platform,
+        "workload": args.workload,
+        "params": _workload_params(args),
+        "spec": spec.with_cpus(_cpus(args)).to_dict(),
+        "vendor_driver": not args.no_vendor_driver,
+    }
+
+
+def _remote_run(args: argparse.Namespace, spec: ProfileSpec, label: str,
+                error_key: str, render_keys: List[str]) -> int:
+    """Run one request via --server; print what the local path would."""
+    from repro.service.client import ServiceError
+    try:
+        payload = _remote_client(args).run(_remote_request(args, spec))
+    except ServiceError as error:
+        print(f"{label} failed: {error}", file=sys.stderr)
+        return 1
+    run = payload["run"]
+    if error_key in run.get("errors", {}):
+        print(f"{label} failed: {run['errors'][error_key]}", file=sys.stderr)
+        return 1
+    if getattr(args, "json", False):
+        print(json.dumps(run, indent=2))
+        return 0
+    renderings = payload.get("renderings", {})
+    print("\n\n".join(renderings[key] for key in render_keys
+                      if key in renderings))
+    return 0
+
+
 def cmd_stat(args: argparse.Namespace) -> int:
     spec = ProfileSpec(**_fast_paths(args)).counting()
+    if args.server:
+        return _remote_run(args, spec, "stat", "stat", ["stat"])
     run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "stat" in run.errors:
         print(f"stat failed: {run.errors['stat']}", file=sys.stderr)
@@ -203,6 +261,9 @@ def cmd_record(args: argparse.Namespace) -> int:
     spec = ProfileSpec(sample_period=args.period,
                        analyses=("hotspots", "flamegraph"),
                        **_fast_paths(args))
+    if args.server:
+        return _remote_run(args, spec, "record", "sampling",
+                           ["recording", "hotspots"])
     run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
     if "sampling" in run.errors:
         print(f"record failed: {run.errors['sampling']}", file=sys.stderr)
@@ -270,6 +331,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
                        vendor_driver=not args.no_vendor_driver,
                        cpus=1 if args.cpus is None else args.cpus,
                        **_fast_paths(args))
+    if args.server:
+        from repro.service.client import ServiceError
+        try:
+            payload = _remote_client(args).compare(
+                args.platforms, args.workload, spec=spec.to_dict(),
+                params=_workload_params(args))
+        except ServiceError as error:
+            print(f"compare failed: {error}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(payload["comparison"], indent=2))
+        else:
+            print(payload["report"])
+        return 0
     # Platform names go to compare() unresolved: it validates the whole list
     # up front (unknown or duplicate names raise one clean ValueError).  The
     # workload travels by registry name so --workers can ship it to worker
@@ -285,141 +360,55 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _analyze_kernel_module(source: str, filename: str, entry: str,
-                           args_builder, descriptor) -> List[dict]:
-    """The per-function static report for one compiled kernel source.
-
-    Analysis always runs on the scalar (vectorizer-off) module: the address
-    analysis models semantic footprints, and block-delta verdicts for the
-    scalar configuration are the ones every spec that disables vectorization
-    exercises.  Concrete argument values (from the workload's own args
-    builder against a fresh Memory) give pointer regions absolute bases.
-    """
-    module = compile_source_cached(source, filename, descriptor,
-                                   enable_vectorizer=False)
-    target = target_for_platform(descriptor)
-    concrete_args = list(args_builder(Memory())) if args_builder else None
-    functions: List[dict] = []
-    for function in module.defined_functions():
-        verdicts = verdicts_for(function, target) or {}
-        arg_values = concrete_args if function.name == entry else None
-        ranges = analyze_address_ranges(function, arg_values)
-        reaching = reaching_definitions(function)
-        functions.append({
-            "name": function.name,
-            "blocks": {
-                name: {"eligible": verdict.eligible, "reason": verdict.reason}
-                for name, verdict in sorted(verdicts.items())
-            },
-            "max_live_values": max_live_values(function),
-            "max_reaching_defs": max(
-                (len(defs) for defs in reaching.values()), default=0),
-            "regions": [
-                {
-                    "name": region.name,
-                    "lo": region.lo, "hi": region.hi,
-                    "stride": region.stride,
-                    "reads": region.reads, "writes": region.writes,
-                    "private": region.is_private,
-                    "base": region.base,
-                }
-                for region in ranges.sorted_regions()
-            ],
-            "unresolved_accesses": len(ranges.unresolved),
-        })
-    return functions
-
-
-def _analyze_workload(workload, descriptor, cpus: int) -> dict:
-    entry: dict = {"name": workload.name, "kind": workload.kind}
-    if workload.kind == "kernel":
-        entry["functions"] = _analyze_kernel_module(
-            workload.source, workload.filename, workload.function,
-            workload.args_builder, descriptor)
-    elif supports_shard_plans(workload):
-        report = analyze_parallel_workload(workload, cpus, ProfileSpec(),
-                                           descriptor)
-        entry["race"] = report.to_dict()
-    else:
-        entry["note"] = ("synthetic trace replay; no compiled IR to "
-                        "analyze statically")
-    return entry
-
-
-def _format_analyze_entry(entry: dict) -> str:
-    lines = [f"workload: {entry['name']} ({entry['kind']})"]
-    for function in entry.get("functions", ()):
-        blocks = function["blocks"]
-        eligible = sum(1 for v in blocks.values() if v["eligible"])
-        lines.append(
-            f"  @{function['name']}: {eligible}/{len(blocks)} blocks "
-            f"block-delta eligible; max live values "
-            f"{function['max_live_values']}; max reaching defs "
-            f"{function['max_reaching_defs']}"
-        )
-        for name, verdict in blocks.items():
-            state = "eligible" if verdict["eligible"] else verdict["reason"]
-            lines.append(f"    block {name}: {state}")
-        for region in function["regions"]:
-            span = (f"[{region['lo']}, {region['hi']})"
-                    if region["lo"] is not None and region["hi"] is not None
-                    else "[unbounded)")
-            where = ("private" if region["private"]
-                     else f"base={region['base']:#x}" if region["base"] is not None
-                     else "base=?")
-            lines.append(
-                f"    region {region['name']}: {span} stride "
-                f"{region['stride']} reads={region['reads']} "
-                f"writes={region['writes']} ({where})"
-            )
-        if function["unresolved_accesses"]:
-            lines.append(
-                f"    {function['unresolved_accesses']} access(es) "
-                "could not be bounded"
-            )
-    race = entry.get("race")
-    if race is not None:
-        lines.append(f"  race verdict ({race['cpus']} harts): "
-                     f"{race['verdict']}")
-        for region in race["regions"]:
-            lines.append(
-                f"    {region['thread']}/{region['label']}: "
-                f"[{region['lo']:#x}, {region['hi']:#x}) "
-                f"reads={region['reads']} writes={region['writes']}"
-            )
-        for overlap in race["overlaps"]:
-            lines.append(f"    overlap {overlap['first']} ~ "
-                         f"{overlap['second']}: {overlap['kind']}")
-        for note in race["notes"]:
-            lines.append(f"    note: {note}")
-    if "note" in entry:
-        lines.append(f"  {entry['note']}")
-    return "\n".join(lines)
-
-
 def cmd_analyze(args: argparse.Namespace) -> int:
-    descriptor = platform_by_name(args.platform)
     cpus = 1 if args.cpus is None else args.cpus
-    if args.all:
-        workloads = [registry.create(name) for name in registry]
+    if getattr(args, "server", None):
+        from repro.service.client import ServiceError
+        try:
+            payload = _remote_client(args).analyze(
+                args.platform,
+                workload=None if args.all else args.workload,
+                cpus=cpus,
+                params={} if args.all else _workload_params(args),
+                all_workloads=args.all)
+        except ServiceError as error:
+            print(f"analyze failed: {error}", file=sys.stderr)
+            return 1
+        report = payload["analyze"]
     else:
-        workloads = [_workload(args)]
-    entries = [_analyze_workload(workload, descriptor, cpus)
-               for workload in workloads]
-    report = {"platform": descriptor.name, "cpus": cpus, "workloads": entries}
+        report = build_analyze_report(
+            args.platform, cpus=cpus,
+            workload=None if args.all else args.workload,
+            params={} if args.all else _workload_params(args),
+            all_workloads=args.all)
     if args.json:
         print(json.dumps(report, indent=2))
     else:
-        print(f"static analysis on {descriptor.name} ({cpus} harts for "
-              "parallel workloads):")
-        for entry in entries:
-            print(_format_analyze_entry(entry))
-    bad = [entry["name"] for entry in entries
-           if entry.get("race", {}).get("verdict") in ("racy", "unknown")]
+        print(format_analyze_report(report))
+    bad = failed_certifications(report)
     if bad:
         print(f"race certification failed for: {', '.join(bad)}",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the profiling daemon (see :mod:`repro.service`)."""
+    from repro.service.daemon import ServiceConfig, serve
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        cache_entries=args.cache_entries,
+        warm_platforms=tuple(args.warm_platforms),
+        warm_cpus=tuple(args.warm_cpus),
+        warm_kernels=not args.no_warm_kernels,
+    )
+    serve(config, announce=lambda address: print(
+        f"repro serve listening on {address}", flush=True))
     return 0
 
 
@@ -481,6 +470,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("-a", "--all-cpus", action="store_true",
                          help="system-wide: use every hart of the board")
 
+    def add_server(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--server", default=None, metavar="URL",
+                         help="send the request to a `repro serve` daemon "
+                              "at URL instead of profiling in process "
+                              "(same output, minus wall-clock timings)")
+
     def add_dispatch(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--no-fast-dispatch", action="store_true",
                          help="run compiled kernels on the reference "
@@ -509,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     stat.add_argument("--timings", action="store_true",
                       help="print wall-clock phase timings "
                            "(compile/execute/analyses) to stderr")
+    add_server(stat)
     stat.set_defaults(func=cmd_stat)
 
     record = subparsers.add_parser("record", help="sampling profile + hotspots")
@@ -518,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_dispatch(record)
     record.add_argument("--period", type=int, default=20_000)
     record.add_argument("--json", action="store_true", help="emit JSON")
+    add_server(record)
     record.set_defaults(func=cmd_record)
 
     flame = subparsers.add_parser("flamegraph", help="render a flame graph")
@@ -563,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print per-platform wall-clock phase timings "
                               "(compile/execute/analyses) to stderr")
     compare.add_argument("--json", action="store_true", help="emit JSON")
+    add_server(compare)
     compare.set_defaults(func=cmd_compare)
 
     analyze = subparsers.add_parser(
@@ -576,7 +574,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard count for parallel-workload race "
                               "analysis (default 1)")
     analyze.add_argument("--json", action="store_true", help="emit JSON")
+    add_server(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    serve = subparsers.add_parser(
+        "serve", help="profiling-as-a-service daemon: warm worker pools, "
+                      "content-addressed result cache, backpressure")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="port to bind; 0 picks an ephemeral port "
+                            "(default: 8787)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes; 0 executes inline in the "
+                            "daemon (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="admitted-request bound before 429 responses "
+                            "(default: 32)")
+    serve.add_argument("--request-timeout", type=float, default=300.0,
+                       help="per-request execution timeout in seconds "
+                            "(default: 300)")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="result-cache entry bound (default: 256)")
+    serve.add_argument("--warm-platforms", nargs="+",
+                       default=["SpacemiT X60"],
+                       help="platforms whose machines each worker pre-builds")
+    serve.add_argument("--warm-cpus", nargs="+", type=int, default=[1],
+                       help="hart counts to pre-build machines for")
+    serve.add_argument("--no-warm-kernels", action="store_true",
+                       help="skip precompiling registry kernels at worker "
+                            "spawn")
+    serve.set_defaults(func=cmd_serve)
 
     lint = subparsers.add_parser(
         "lint", help="determinism linter (hash/id, set iteration, "
