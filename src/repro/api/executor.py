@@ -120,10 +120,53 @@ def _resolve_workload(request: RunRequest):
 
 
 def execute_request(request: RunRequest) -> Run:
-    """Run one request in this process (the worker body of :func:`run_many`)."""
+    """Run one request in this process (the worker body of :func:`run_many`).
+
+    Per-request outcomes land in the telemetry registry: ``ok`` when every
+    requested analysis was produced, ``partial`` when some were recorded in
+    ``run.errors``, ``error`` when the run itself raised.
+    """
+    from repro import telemetry as _telemetry
     from repro.api.session import Session
-    session = Session(request.platform, vendor_driver=request.vendor_driver)
-    return session.run(_resolve_workload(request), request.spec)
+    outcomes = _telemetry.REGISTRY.counter(
+        "repro_executor_requests_total",
+        "Executor run requests by outcome")
+    try:
+        session = Session(request.platform,
+                          vendor_driver=request.vendor_driver)
+        run = session.run(_resolve_workload(request), request.spec)
+    except Exception:
+        outcomes.inc(outcome="error")
+        raise
+    outcomes.inc(outcome="partial" if run.errors else "ok")
+    return run
+
+
+def _execute_request_shipped(request: RunRequest):
+    """Worker body that ships the run's telemetry delta back to the parent.
+
+    Returns ``(run, captured_wire)``: the registry delta this request
+    produced in the worker process, plus span wire dicts when the request's
+    spec asked for telemetry.  The parent merges both -- merging is safe
+    precisely because the worker is a different process.
+    """
+    from repro import telemetry as _telemetry
+    with _telemetry.capture(spans=request.spec.telemetry) as captured:
+        run = execute_request(request)
+    return run, captured.to_wire()
+
+
+def _merge_shipped(request: RunRequest, index: int, shipped: dict) -> None:
+    """Fold one worker's shipped telemetry into this (parent) process."""
+    from repro import telemetry as _telemetry
+    _telemetry.REGISTRY.merge(shipped["metrics"])
+    if shipped["spans"]:
+        parent = _telemetry.record(
+            "run_many_worker", cat="run", index=index,
+            platform=_platform_key(request.platform),
+            workload=getattr(request.workload, "name", request.workload))
+        if parent is not None:
+            _telemetry.TRACER.attach_wire(shipped["spans"], parent=parent)
 
 
 def _platform_key(platform: Union[str, object]) -> str:
@@ -204,12 +247,14 @@ def run_many(requests: Sequence[RunRequest],
     with ProcessPoolExecutor(max_workers=workers,
                              initializer=_warm_worker,
                              initargs=(_warmup_plan(requests),)) as pool:
-        futures = [pool.submit(execute_request, request)
+        futures = [pool.submit(_execute_request_shipped, request)
                    for request in requests]
         results: List[Run] = []
         for index, (request, future) in enumerate(zip(requests, futures)):
             try:
-                results.append(future.result())
+                run, shipped = future.result()
+                _merge_shipped(request, index, shipped)
+                results.append(run)
             except BrokenProcessPool as error:
                 workload = getattr(request.workload, "name", request.workload)
                 raise RuntimeError(

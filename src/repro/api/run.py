@@ -30,6 +30,23 @@ from repro.roofline.plot import render_ascii_roofline, render_svg_roofline
 from repro.roofline.runner import KernelRooflineResult
 
 
+def strip_timings(payload):
+    """Drop every ``timings`` key from a JSON-shaped payload, recursively.
+
+    Wall-clock phase timings are the one intentionally non-deterministic
+    field a Run exports.  This is the canonical normalizer: the service
+    wire format, :meth:`Run.deterministic_dict` and the golden suite all
+    strip through it, so they can never disagree about what "deterministic
+    export" means.
+    """
+    if isinstance(payload, dict):
+        return {key: strip_timings(value) for key, value in payload.items()
+                if key != "timings"}
+    if isinstance(payload, list):
+        return [strip_timings(item) for item in payload]
+    return payload
+
+
 @dataclass
 class Run:
     """The uniform result of one ``session.run(workload, spec)``."""
@@ -147,16 +164,14 @@ class Run:
         return json.dumps(self.to_dict(), indent=indent)
 
     def deterministic_dict(self) -> dict:
-        """:meth:`to_dict` without the wall-clock ``timings`` key.
+        """:meth:`to_dict` without wall-clock ``timings`` keys (recursive).
 
         Everything else a Run exports is byte-reproducible across processes
         and Python versions (the golden suite pins it); this is the export
         the service layer caches and serves -- two identical requests must
         produce identical bytes, so the one host-volatile field stays out.
         """
-        payload = self.to_dict()
-        payload.pop("timings", None)
-        return payload
+        return strip_timings(self.to_dict())
 
     def format_timings(self) -> str:
         """One-line wall-clock phase report (the CLI's ``--timings`` output)."""

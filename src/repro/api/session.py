@@ -29,6 +29,7 @@ def _wall_seconds() -> float:
     """
     return perf_counter()  # repro-lint: allow[wall-clock] -- diagnostic phase timings; stripped from goldens, never modelled time
 
+from repro import telemetry as _telemetry
 from repro.api.run import Comparison, Run
 from repro.api.spec import ProfileSpec
 from repro.api.workload import Workload
@@ -235,63 +236,77 @@ class Session:
         compile_seconds = 0.0
         execute_seconds = 0.0
         analyses_seconds = 0.0
+        collector = _telemetry.RunCollector(platform=machine.name,
+                                            workload=workload.name)
+        collector.start(machine)
 
-        if spec.wants_stat:
-            task = machine.create_task(workload.name)
-            start = _wall_seconds()
-            try:
-                executable = workload.executable(machine, task, spec)
-                compile_seconds += _wall_seconds() - start
+        with _telemetry.span("run", cat="run", platform=machine.name,
+                             workload=workload.name, cpus=1):
+            if spec.wants_stat:
+                task = machine.create_task(workload.name)
                 start = _wall_seconds()
-                run.stat = tool.stat(executable, task=task, events=spec.events)
-                execute_seconds += _wall_seconds() - start
-            except PerfEventOpenError as error:
-                run.errors["stat"] = str(error)
-                run.failures["stat"] = error
+                try:
+                    with _telemetry.span("compile", analysis="stat"):
+                        executable = workload.executable(machine, task, spec)
+                    compile_seconds += _wall_seconds() - start
+                    start = _wall_seconds()
+                    with _telemetry.span("execute", analysis="stat"):
+                        run.stat = tool.stat(executable, task=task,
+                                             events=spec.events)
+                    execute_seconds += _wall_seconds() - start
+                except PerfEventOpenError as error:
+                    run.errors["stat"] = str(error)
+                    run.failures["stat"] = error
 
-        if spec.wants_sampling:
-            task = machine.create_task(workload.name)
-            start = _wall_seconds()
-            try:
-                executable = workload.executable(machine, task, spec)
-                compile_seconds += _wall_seconds() - start
+            if spec.wants_sampling:
+                task = machine.create_task(workload.name)
                 start = _wall_seconds()
-                run.recording = tool.record(
-                    executable,
-                    task=task, events=spec.events,
-                    sample_period=spec.sample_period,
-                )
-                execute_seconds += _wall_seconds() - start
-            except (SamplingNotSupportedError, PerfEventOpenError) as error:
-                run.errors["sampling"] = str(error)
-                run.failures["sampling"] = error
-            if run.recording is not None:
-                start = _wall_seconds()
-                if "hotspots" in spec.analyses:
-                    run.hotspots = tool.hotspots(run.recording)
-                if "flamegraph" in spec.analyses:
-                    run.flame_cycles = build_flame_graph(
-                        run.recording.samples, weight="samples")
-                    run.flame_instructions = build_flame_graph(
-                        run.recording.samples, weight="instructions")
-                analyses_seconds += _wall_seconds() - start
+                try:
+                    with _telemetry.span("compile", analysis="sampling"):
+                        executable = workload.executable(machine, task, spec)
+                    compile_seconds += _wall_seconds() - start
+                    start = _wall_seconds()
+                    with _telemetry.span("execute", analysis="sampling"):
+                        run.recording = tool.record(
+                            executable,
+                            task=task, events=spec.events,
+                            sample_period=spec.sample_period,
+                        )
+                    execute_seconds += _wall_seconds() - start
+                except (SamplingNotSupportedError, PerfEventOpenError) as error:
+                    run.errors["sampling"] = str(error)
+                    run.failures["sampling"] = error
+                if run.recording is not None:
+                    start = _wall_seconds()
+                    with _telemetry.span("analyses", analysis="sampling"):
+                        if "hotspots" in spec.analyses:
+                            run.hotspots = tool.hotspots(run.recording)
+                        if "flamegraph" in spec.analyses:
+                            run.flame_cycles = build_flame_graph(
+                                run.recording.samples, weight="samples")
+                            run.flame_instructions = build_flame_graph(
+                                run.recording.samples, weight="instructions")
+                    analyses_seconds += _wall_seconds() - start
 
-        if spec.wants_roofline:
-            if not workload.supports_roofline:
-                run.errors["roofline"] = (
-                    f"workload {workload.name!r} ({workload.kind}) has no "
-                    "compiled kernel to run the two-phase roofline flow on"
-                )
-            else:
-                # Resolve the session-level vendor-driver default before the
-                # workload builds its own (fresh) roofline machines.
-                start = _wall_seconds()
-                run.roofline = workload.roofline(
-                    self.descriptor, spec.replace(vendor_driver=vendor_driver))
-                analyses_seconds += _wall_seconds() - start
+            if spec.wants_roofline:
+                if not workload.supports_roofline:
+                    run.errors["roofline"] = (
+                        f"workload {workload.name!r} ({workload.kind}) has no "
+                        "compiled kernel to run the two-phase roofline flow on"
+                    )
+                else:
+                    # Resolve the session-level vendor-driver default before the
+                    # workload builds its own (fresh) roofline machines.
+                    start = _wall_seconds()
+                    with _telemetry.span("analyses", analysis="roofline"):
+                        run.roofline = workload.roofline(
+                            self.descriptor,
+                            spec.replace(vendor_driver=vendor_driver))
+                    analyses_seconds += _wall_seconds() - start
 
         run.timings = {"compile": compile_seconds, "execute": execute_seconds,
                        "analyses": analyses_seconds}
+        collector.finish(timings=run.timings)
         return run
 
     # -- SMP runs ------------------------------------------------------------------------
@@ -351,66 +366,83 @@ class Session:
                 run.failures[key] = error
             return run
         machine.set_cache_fast_path(spec.fast_cache)
+        collector = _telemetry.RunCollector(platform=self.descriptor.name,
+                                            workload=workload.name)
+        collector.start(machine)
 
-        if spec.wants_stat:
-            start = _wall_seconds()
-            try:
-                threads = self._threads_for(workload, spec)
-                compile_seconds += _wall_seconds() - start
+        with _telemetry.span("run", cat="run", platform=self.descriptor.name,
+                             workload=workload.name, cpus=spec.cpus):
+            if spec.wants_stat:
                 start = _wall_seconds()
-                run.stat = smp_stat(machine, threads, events=spec.events)
-                run.schedule = run.stat.schedule
-                execute_seconds += _wall_seconds() - start
-            except PerfEventOpenError as error:
-                run.errors["stat"] = str(error)
-                run.failures["stat"] = error
+                try:
+                    with _telemetry.span("compile", analysis="stat"):
+                        threads = self._threads_for(workload, spec)
+                    compile_seconds += _wall_seconds() - start
+                    start = _wall_seconds()
+                    with _telemetry.span("execute", analysis="stat"):
+                        run.stat = smp_stat(machine, threads,
+                                            events=spec.events)
+                    run.schedule = run.stat.schedule
+                    execute_seconds += _wall_seconds() - start
+                except PerfEventOpenError as error:
+                    run.errors["stat"] = str(error)
+                    run.failures["stat"] = error
 
-        if spec.wants_sampling:
-            start = _wall_seconds()
-            try:
-                threads = self._threads_for(workload, spec)
-                compile_seconds += _wall_seconds() - start
+            if spec.wants_sampling:
                 start = _wall_seconds()
-                run.recording = smp_record(
-                    machine, threads,
-                    events=spec.events, sample_period=spec.sample_period,
-                )
-                run.schedule = run.recording.schedule
-                execute_seconds += _wall_seconds() - start
-            except (_SNS, PerfEventOpenError) as error:
-                run.errors["sampling"] = str(error)
-                run.failures["sampling"] = error
-            if run.recording is not None:
-                start = _wall_seconds()
-                if "hotspots" in spec.analyses:
-                    run.hotspots = run.recording.hotspots()
-                if "flamegraph" in spec.analyses:
-                    run.flame_cycles = run.recording.flame_graph(weight="samples")
-                    run.flame_instructions = run.recording.flame_graph(
-                        weight="instructions")
-                analyses_seconds += _wall_seconds() - start
+                try:
+                    with _telemetry.span("compile", analysis="sampling"):
+                        threads = self._threads_for(workload, spec)
+                    compile_seconds += _wall_seconds() - start
+                    start = _wall_seconds()
+                    with _telemetry.span("execute", analysis="sampling"):
+                        run.recording = smp_record(
+                            machine, threads,
+                            events=spec.events,
+                            sample_period=spec.sample_period,
+                        )
+                    run.schedule = run.recording.schedule
+                    execute_seconds += _wall_seconds() - start
+                except (_SNS, PerfEventOpenError) as error:
+                    run.errors["sampling"] = str(error)
+                    run.failures["sampling"] = error
+                if run.recording is not None:
+                    start = _wall_seconds()
+                    with _telemetry.span("analyses", analysis="sampling"):
+                        if "hotspots" in spec.analyses:
+                            run.hotspots = run.recording.hotspots()
+                        if "flamegraph" in spec.analyses:
+                            run.flame_cycles = run.recording.flame_graph(
+                                weight="samples")
+                            run.flame_instructions = run.recording.flame_graph(
+                                weight="instructions")
+                    analyses_seconds += _wall_seconds() - start
 
-        if spec.wants_roofline:
-            if not workload.supports_roofline:
-                run.errors["roofline"] = (
-                    f"workload {workload.name!r} ({workload.kind}) has no "
-                    "compiled kernel to run the two-phase roofline flow on"
-                )
-            else:
-                # The kernel point is measured on one hart; the roofs are
-                # aggregated over all harts.  The shared levels (DRAM and
-                # the platform's LLC, which SharedMemorySystem shares across
-                # harts) keep their single-instance bandwidth.
-                start = _wall_seconds()
-                single = workload.roofline(
-                    self.descriptor, spec.replace(vendor_driver=vendor_driver))
-                run.roofline = aggregate_roofline(
-                    single, spec.cpus,
-                    shared_levels=("DRAM", self.descriptor.caches[-1].name))
-                analyses_seconds += _wall_seconds() - start
+            if spec.wants_roofline:
+                if not workload.supports_roofline:
+                    run.errors["roofline"] = (
+                        f"workload {workload.name!r} ({workload.kind}) has no "
+                        "compiled kernel to run the two-phase roofline flow on"
+                    )
+                else:
+                    # The kernel point is measured on one hart; the roofs are
+                    # aggregated over all harts.  The shared levels (DRAM and
+                    # the platform's LLC, which SharedMemorySystem shares across
+                    # harts) keep their single-instance bandwidth.
+                    start = _wall_seconds()
+                    with _telemetry.span("analyses", analysis="roofline"):
+                        single = workload.roofline(
+                            self.descriptor,
+                            spec.replace(vendor_driver=vendor_driver))
+                        run.roofline = aggregate_roofline(
+                            single, spec.cpus,
+                            shared_levels=("DRAM",
+                                           self.descriptor.caches[-1].name))
+                    analyses_seconds += _wall_seconds() - start
 
         run.timings = {"compile": compile_seconds, "execute": execute_seconds,
                        "analyses": analyses_seconds}
+        collector.finish(schedule=run.schedule, timings=run.timings)
         return run
 
     # -- multi-platform comparison ------------------------------------------------------

@@ -94,6 +94,11 @@ class ProfileSpec:
     fast_cache: bool = True
     verify_ir: bool = False
     analyses: Tuple[str, ...] = ("hotspots", "flamegraph")
+    #: Whether this run records structured spans (``--trace``).  Excluded
+    #: from :meth:`to_dict` -- the wire format and every cache key must not
+    #: vary with observability settings -- but accepted by
+    #: :meth:`from_dict` so service requests can ask workers to ship spans.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         unknown = [name for name in self.analyses if name not in ANALYSES]
@@ -157,6 +162,10 @@ class ProfileSpec:
 
     def with_analyses(self, *analyses: str) -> "ProfileSpec":
         return self.replace(analyses=tuple(analyses))
+
+    def with_telemetry(self, enabled: bool = True) -> "ProfileSpec":
+        """Record structured spans for this run (observability only)."""
+        return self.replace(telemetry=enabled)
 
     def with_roofline(self) -> "ProfileSpec":
         if "roofline" in self.analyses:

@@ -31,8 +31,20 @@ from repro.compiler.targets.registry import target_for_platform
 from repro.compiler.transforms import default_optimization_pipeline
 from repro.compiler.transforms.pipeline import verify_ir_requested
 from repro.platforms.descriptors import PlatformDescriptor
+from repro.telemetry import span as _span
 
 _MODULE_CACHE: Dict[Tuple[str, str, str, int, bool], Module] = {}
+
+# Plain process-wide tallies (observability only): the telemetry run
+# collector folds before/after deltas into the registry at run boundaries,
+# so the memoization fast path stays a dict lookup plus one int add.
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def cache_stats() -> Dict[str, int]:
+    """Process-wide compile-cache hit/miss tallies."""
+    return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES}
 
 
 def compile_source_cached(source: str, filename: str,
@@ -47,22 +59,30 @@ def compile_source_cached(source: str, filename: str,
     hit the cached module is re-verified once, so the flag still gives a
     verified module without recompiling.
     """
+    global _CACHE_HITS, _CACHE_MISSES
     verify_each = verify_ir or verify_ir_requested()
     key = (source, filename, descriptor.march, descriptor.vector.sp_lanes(),
            enable_vectorizer)
     module = _MODULE_CACHE.get(key)
     if module is None:
-        module = compile_source(source, filename)
-        pipeline = default_optimization_pipeline(
-            vector_width=descriptor.vector.sp_lanes(),
-            enable_vectorizer=enable_vectorizer,
-            verify_each=verify_each,
-        )
-        pipeline.run(module)
+        _CACHE_MISSES += 1
+        with _span("compile_kernel", cat="compiler", filename=filename,
+                   march=descriptor.march):
+            module = compile_source(source, filename)
+            pipeline = default_optimization_pipeline(
+                vector_width=descriptor.vector.sp_lanes(),
+                enable_vectorizer=enable_vectorizer,
+                verify_each=verify_each,
+            )
+            pipeline.run(module)
         _MODULE_CACHE[key] = module
-    elif verify_each:
-        verify_module(module)
+    else:
+        _CACHE_HITS += 1
+        if verify_each:
+            verify_module(module)
     target = target_for_platform(descriptor)
     if not is_certified(module, target):
-        certify_module(module, target)
+        with _span("lower", cat="compiler", filename=filename,
+                   march=descriptor.march):
+            certify_module(module, target)
     return module

@@ -121,6 +121,9 @@ class Cache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        #: How many hits were served by the same-line short-circuit (a
+        #: subset of ``hits``; observability only, never modelled time).
+        self.mru_hits = 0
         self.fast_path = True
         self._line_shift = config.line_bytes.bit_length() - 1
         num_sets = config.num_sets
@@ -162,6 +165,7 @@ class Cache:
         line = address >> self._line_shift
         if line == self._mru_line and self.fast_path:
             self.hits += 1
+            self.mru_hits += 1
             if is_store:
                 self._mru_bucket.dirty[self._mru_tag] = True
             return True
@@ -202,6 +206,7 @@ class Cache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        self.mru_hits = 0
 
 
 class FastPathHierarchy:
@@ -262,6 +267,7 @@ class FastPathHierarchy:
             l1 = self._l1
             if first == l1._mru_line and self.fast_path:
                 l1.hits += 1
+                l1.mru_hits += 1
                 if is_store:
                     l1._mru_bucket.dirty[l1._mru_tag] = True
                 return self._l1_hit
@@ -286,6 +292,15 @@ class FastPathHierarchy:
             dram_bytes=total_dram,
             levels_missed=worst.levels_missed,
         )
+
+    def fast_path_hits(self) -> Dict[str, int]:
+        """Same-line short-circuit hits per level name.
+
+        Observability only (the telemetry run collector folds deltas into
+        ``repro_fast_cache_short_circuits_total``); deliberately not part of
+        :meth:`stats`, which feeds golden-pinned run exports.
+        """
+        return {cache.config.name: cache.mru_hits for cache in self.levels}
 
     def access_lines(self, accesses) -> List[AccessResult]:
         """Batched :meth:`access`: one call for a stream of resolved accesses.
@@ -312,6 +327,7 @@ class FastPathHierarchy:
             if first == (address + size_bytes - 1) >> shift:
                 if fast and first == l1._mru_line:
                     l1.hits += 1
+                    l1.mru_hits += 1
                     if is_store:
                         l1._mru_bucket.dirty[l1._mru_tag] = True
                     append(l1_hit)

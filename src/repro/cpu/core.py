@@ -200,6 +200,9 @@ class CoreTimingModel:
         self.mode_cycles = ModeCycleAccounting()
         self.retired_instructions = 0
         self.total_cycles = 0
+        #: How many BlockDelta sentinels the batched path retired as
+        #: aggregates (observability only; never feeds modelled time).
+        self.delta_blocks_retired = 0
         self._cycle_remainder = 0.0
         self.frontend_stall_cycles = 0.0
         self.backend_stall_cycles = 0.0
@@ -405,6 +408,7 @@ class CoreTimingModel:
         dram_read = dram_write = 0
         branches = branch_misses = 0
         flops = int_ops = vector_ops = 0
+        delta_blocks = 0
         mem_index = 0
 
         for op in ops:
@@ -426,6 +430,7 @@ class CoreTimingModel:
                     total_cycles, remainder = walked
                 cycles_total += total_cycles
                 count += op.instructions
+                delta_blocks += 1
                 int_ops += op.int_ops
                 flops += op.flops
                 vector_ops += op.vector_ops
@@ -507,6 +512,7 @@ class CoreTimingModel:
         self._cycle_remainder = remainder
         self.total_cycles += cycles_total
         self.retired_instructions += count
+        self.delta_blocks_retired += delta_blocks
         self.frontend_stall_cycles += frontend_total
         self.backend_stall_cycles += backend_total
         self.mode_cycles.add(self.privilege_mode, cycles_total)

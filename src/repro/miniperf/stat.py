@@ -10,6 +10,7 @@ from repro.kernel.perf_event import PerfEventAttr, PerfEventOpenError, ReadForma
 from repro.kernel.task import Task
 from repro.miniperf.correction import CorrectedCount, scale_multiplexed
 from repro.platforms.machine import Machine
+from repro.telemetry import span as _span
 
 
 @dataclass
@@ -105,8 +106,9 @@ def miniperf_stat(machine: Machine, task: Task, workload: Callable[[], None],
     for fd in fds.values():
         machine.perf.disable(fd)
 
-    for event, fd in fds.items():
-        read = machine.perf.read(fd)
-        result.counts[event] = scale_multiplexed(event.value, read)
-        machine.perf.close(fd)
+    with _span("analyses", analysis="stat", events=len(fds)):
+        for event, fd in fds.items():
+            read = machine.perf.read(fd)
+            result.counts[event] = scale_multiplexed(event.value, read)
+            machine.perf.close(fd)
     return result

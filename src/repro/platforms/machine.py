@@ -102,6 +102,14 @@ class Machine:
         #: the per-run execution engines (a Session caches its machines), so
         #: repeated runs predecode each eligible block's delta exactly once.
         self.block_deltas: Dict[object, BlockDelta] = {}
+        #: Block-delta classification tallies kept by the execution engine
+        #: (:meth:`repro.vm.engine` decode).  Observability only: the run
+        #: collector folds before/after deltas of these plain ints into the
+        #: telemetry registry; nothing here feeds modelled time.
+        self.delta_stats: Dict[str, int] = {
+            "eligible": 0, "ineligible": 0,
+            "cache_hits": 0, "cache_misses": 0,
+        }
         #: Optional ``(address, size_bytes, is_store) -> None`` observer of
         #: every addressed memory op this hart retires, on both the per-op
         #: and the batched path.  The static race detector's dynamic

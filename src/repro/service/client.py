@@ -50,6 +50,8 @@ class ServiceReply:
     cache: Optional[str]
     #: Daemon-side service time in milliseconds.
     elapsed_ms: Optional[float]
+    #: Per-request trace ID (``X-Repro-Trace-Id``), e.g. ``req-000004``.
+    trace_id: Optional[str] = None
 
 
 class ServiceClient:
@@ -106,7 +108,8 @@ class ServiceClient:
         return ServiceReply(
             payload=payload,
             cache=reply_headers.get("X-Repro-Cache"),
-            elapsed_ms=float(elapsed) if elapsed else None)
+            elapsed_ms=float(elapsed) if elapsed else None,
+            trace_id=reply_headers.get("X-Repro-Trace-Id"))
 
     @staticmethod
     def _bypass_headers(bypass_cache: bool) -> Dict[str, str]:

@@ -36,9 +36,17 @@ first's execution instead of occupying a second worker, then both are
 served the same bytes -- the same dedup the result cache provides, extended
 to the in-flight window.
 
-Responses carry ``X-Repro-Cache: hit|miss|bypass|coalesced`` and
-``X-Repro-Elapsed-Ms`` headers; cached *bodies* are byte-identical across
-hit and fill, which the end-to-end determinism tests assert.
+Responses carry ``X-Repro-Cache: hit|miss|bypass|coalesced``,
+``X-Repro-Elapsed-Ms`` and per-request ``X-Repro-Trace-Id`` headers; cached
+*bodies* are byte-identical across hit and fill, which the end-to-end
+determinism tests assert.
+
+``GET /metrics`` is built on the unified telemetry registry
+(:mod:`repro.telemetry`): worker processes ship each request's registry
+delta back alongside the cacheable payload and the daemon merges it, so
+block-delta, fast-cache, compile-cache and pool series are served next to
+the service's own request counters (JSON under the ``engine`` key;
+Prometheus appended after the service families).
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro import telemetry as _telemetry
 from repro.api.executor import RunRequest
 from repro.service import pool as pool_module
 from repro.service import wire
@@ -144,6 +153,8 @@ class ReproService:
         self._slots = asyncio.Semaphore(self.pool.concurrency)
         self._admitted = 0
         self._in_flight = 0
+        #: Monotonic request ordinal; renders the X-Repro-Trace-Id header.
+        self._request_seq = 0
         self._pending: Dict[str, asyncio.Future] = {}
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -244,6 +255,8 @@ class ReproService:
         content_type, extra = "application/json", {}
         started = _now()
         endpoint = "unknown"
+        self._request_seq += 1
+        trace_id = f"req-{self._request_seq:06d}"
         try:
             request = await self._read_request(reader)
             endpoint = f"{request.method} {request.path}"
@@ -253,6 +266,9 @@ class ReproService:
             extra = reject.headers
             if reject.status == 429:
                 self.metrics.rejected += 1
+                _telemetry.REGISTRY.counter(
+                    "repro_service_rejected_total",
+                    "Requests bounced with 429 by admission control").inc()
             else:
                 self.metrics.errors += 1
         except (asyncio.IncompleteReadError, ConnectionError):
@@ -266,8 +282,14 @@ class ReproService:
         elapsed = _now() - started
         self.metrics.count_request(endpoint)
         self.metrics.observe_latency(endpoint, elapsed)
+        # Interleaved asyncio requests would corrupt a span stack, so each
+        # request records as a flat root (no-op while tracing is off).
+        _telemetry.record("service_request", cat="service",
+                          wall_dur_us=int(elapsed * 1_000_000),
+                          trace_id=trace_id, endpoint=endpoint, status=status)
         extra = dict(extra)
         extra.setdefault("X-Repro-Elapsed-Ms", f"{elapsed * 1000:.3f}")
+        extra.setdefault("X-Repro-Trace-Id", trace_id)
         try:
             self._write_response(writer, status, body, content_type, extra)
             await writer.drain()
@@ -322,16 +344,45 @@ class ReproService:
             "queue_limit": self.config.queue_limit,
         }
 
+    def _sync_registry_gauges(self) -> None:
+        """Mirror point-in-time service state into the unified registry.
+
+        Counter-shaped series (admissions, rejections, pool restocks,
+        engine tallies) accumulate where they happen; gauges are sampled
+        here, right before a render, so ``/metrics`` reports the state at
+        serving time whichever format is asked for.
+        """
+        registry = _telemetry.REGISTRY
+        queue = registry.gauge("repro_service_queue",
+                               "Admission-control occupancy by state")
+        for name, value in self._gauges().items():
+            queue.set(value, state=name)
+        pool_gauge = registry.gauge("repro_service_pool",
+                                    "Worker-pool state")
+        pool_gauge.set(self.pool.workers, state="workers")
+        pool_gauge.set(self.pool.restarts, state="restarts")
+        cache_gauge = registry.gauge("repro_result_cache",
+                                     "Result-cache state by stat")
+        for name, value in self.cache.stats().items():
+            cache_gauge.set(value, state=name)
+
     def _metrics_response(self, request: _HttpRequest):
         wants_prometheus = (
             request.query.get("format") == "prometheus"
             or "text/plain" in request.headers.get("accept", ""))
         self.metrics.worker_restarts = self.pool.restarts
+        self._sync_registry_gauges()
         if wants_prometheus:
-            text = self.metrics.prometheus(self._gauges(), self.cache.stats())
+            # Service families first (their tested lines stay byte-stable),
+            # then the unified registry: engine tallies merged back from
+            # workers, pool restocks, queue/cache gauges.
+            text = (self.metrics.prometheus(self._gauges(),
+                                            self.cache.stats())
+                    + _telemetry.REGISTRY.prometheus())
             return 200, text.encode("utf-8"), \
                 "text/plain; version=0.0.4; charset=utf-8", {}
         payload = self.metrics.to_dict(self._gauges(), self.cache.stats())
+        payload["engine"] = _telemetry.REGISTRY.to_dict()
         return 200, wire.encode_body(payload), "application/json", {}
 
     def _capabilities(self) -> dict:
@@ -413,6 +464,9 @@ class ReproService:
         """
         loop = asyncio.get_running_loop()
         self._admitted += 1
+        _telemetry.REGISTRY.counter(
+            "repro_service_admitted_total",
+            "Requests admitted past admission control").inc(endpoint=endpoint)
         await self._slots.acquire()
         self._in_flight += 1
         generation = self.pool.generation
@@ -458,6 +512,23 @@ class ReproService:
             raise _Reject(500, wire.error_payload(
                 type(error).__name__, str(error))) from None
 
+    def _merge_worker_telemetry(self, endpoint: str,
+                                shipped: Optional[dict]) -> None:
+        """Fold a worker's shipped telemetry into the daemon's registry.
+
+        Only when the body ran in a separate worker process: inline mode
+        (``workers=0``) executes in this process, so its tallies already
+        landed in the daemon's registry and merging would double-count.
+        """
+        if not shipped or self.pool.workers == 0:
+            return
+        _telemetry.REGISTRY.merge(shipped["metrics"])
+        if shipped.get("spans"):
+            parent = _telemetry.record("service_worker", cat="service",
+                                       endpoint=endpoint)
+            if parent is not None:
+                _telemetry.TRACER.attach_wire(shipped["spans"], parent=parent)
+
     def _release_job(self) -> None:
         self._admitted = max(0, self._admitted - 1)
         self._in_flight = max(0, self._in_flight - 1)
@@ -484,6 +555,7 @@ class ReproService:
             self._pending[key] = waiter
         try:
             result = await self._execute_job(endpoint, fn, canonical)
+            self._merge_worker_telemetry(endpoint, result.get("telemetry"))
             body = wire.encode_body(result["payload"])
             self.cache.put(key, body)
             if not waiter.done():

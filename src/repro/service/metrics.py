@@ -16,6 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.telemetry.registry import (
+    escape_label_value,
+    format_metric_value,
+    prometheus_family_header,
+)
+
 #: Histogram bucket upper bounds, in seconds (Prometheus ``le`` labels).
 LATENCY_BUCKETS: Tuple[float, ...] = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -110,22 +116,29 @@ class ServiceMetrics:
         }
 
     def prometheus(self, gauges: dict, cache_stats: dict) -> str:
-        """The Prometheus text exposition of the same numbers."""
+        """The Prometheus text exposition of the same numbers.
+
+        Label values are escaped and every family carries ``# HELP`` /
+        ``# TYPE`` lines, via the same helpers the unified telemetry
+        registry renders with.
+        """
         lines: List[str] = []
+
+        def endpoint_label(name: str) -> str:
+            return f'{{endpoint="{escape_label_value(name)}"}}'
 
         def counter(name: str, help_text: str,
                     samples: Sequence[Tuple[str, float]]) -> None:
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} counter")
+            lines.extend(prometheus_family_header(name, "counter", help_text))
             for labels, value in samples:
-                lines.append(f"{name}{labels} {value:g}")
+                lines.append(f"{name}{labels} {format_metric_value(value)}")
 
         counter("repro_requests_total", "Requests seen per endpoint.",
-                [(f'{{endpoint="{name}"}}', self.requests[name])
+                [(endpoint_label(name), self.requests[name])
                  for name in sorted(self.requests)])
         counter("repro_executions_total",
                 "Requests executed on a worker, per endpoint.",
-                [(f'{{endpoint="{name}"}}', self.executions[name])
+                [(endpoint_label(name), self.executions[name])
                  for name in sorted(self.executions)])
         counter("repro_coalesced_total",
                 "Requests served by awaiting an identical in-flight run.",
@@ -156,29 +169,34 @@ class ServiceMetrics:
                                   "Requests currently executing."),
                                  ("queue_limit",
                                   "Admission bound (queued + executing).")):
-            lines.append(f"# HELP repro_{gauge} {help_text}")
-            lines.append(f"# TYPE repro_{gauge} gauge")
-            lines.append(f"repro_{gauge} {gauges[gauge]:g}")
-        lines.append("# HELP repro_cache_entries Entries in the result cache.")
-        lines.append("# TYPE repro_cache_entries gauge")
-        lines.append(f"repro_cache_entries {cache_stats['entries']:g}")
+            lines.extend(prometheus_family_header(
+                f"repro_{gauge}", "gauge", help_text))
+            lines.append(
+                f"repro_{gauge} {format_metric_value(gauges[gauge])}")
+        lines.extend(prometheus_family_header(
+            "repro_cache_entries", "gauge",
+            "Entries in the result cache."))
+        lines.append("repro_cache_entries "
+                     f"{format_metric_value(cache_stats['entries'])}")
 
-        lines.append("# HELP repro_request_seconds Request latency.")
-        lines.append("# TYPE repro_request_seconds histogram")
+        lines.extend(prometheus_family_header(
+            "repro_request_seconds", "histogram", "Request latency."))
         for name in sorted(self._latency):
             histogram = self._latency[name]
+            endpoint = escape_label_value(name)
             cumulative = 0
             for bound, bucket in zip(histogram.bounds,
                                      histogram.bucket_counts):
                 cumulative += bucket
                 lines.append(
-                    f'repro_request_seconds_bucket{{endpoint="{name}",'
+                    f'repro_request_seconds_bucket{{endpoint="{endpoint}",'
                     f'le="{bound:g}"}} {cumulative}')
             lines.append(
-                f'repro_request_seconds_bucket{{endpoint="{name}",'
+                f'repro_request_seconds_bucket{{endpoint="{endpoint}",'
                 f'le="+Inf"}} {histogram.count}')
-            lines.append(f'repro_request_seconds_sum{{endpoint="{name}"}} '
+            lines.append(f'repro_request_seconds_sum{{endpoint="{endpoint}"}} '
                          f'{histogram.total_seconds:.6f}')
-            lines.append(f'repro_request_seconds_count{{endpoint="{name}"}} '
-                         f'{histogram.count}')
+            lines.append(
+                f'repro_request_seconds_count{{endpoint="{endpoint}"}} '
+                f'{histogram.count}')
         return "\n".join(lines) + "\n"

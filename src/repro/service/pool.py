@@ -52,12 +52,25 @@ def _build_machine(platform: str, vendor_driver: bool, cpus: int):
 
 def _take_machine(config: WarmConfig):
     """Pop a pre-built machine (building on miss) and restock the pool."""
+    from repro import telemetry as _telemetry
+    builds = _telemetry.REGISTRY.counter(
+        "repro_pool_machine_builds_total",
+        "Warm-pool machine constructions by reason")
     pool = _MACHINE_POOL.setdefault(config, [])
-    machine = pool.pop() if pool else _build_machine(*config)
+    if pool:
+        machine = pool.pop()
+        _telemetry.REGISTRY.counter(
+            "repro_pool_machine_handoffs_total",
+            "Requests served a pre-built warm-pool machine").inc(
+                platform=config[0])
+    else:
+        machine = _build_machine(*config)
+        builds.inc(reason="miss", platform=config[0])
     # Restock immediately: construction is cheap relative to any run, and an
     # always-full pool keeps the next request's hand-off allocation-free.
     if not pool:
         pool.append(_build_machine(*config))
+        builds.inc(reason="restock", platform=config[0])
     return machine
 
 
@@ -105,9 +118,13 @@ def warm_worker(configs: Sequence[WarmConfig],
 # -- worker request bodies ----------------------------------------------------------------
 #
 # Each returns {"payload": <deterministic, cacheable dict>,
-#               "timings": <host-volatile wall-clock phases>} -- the daemon
-# caches/serves the payload and reports the timings via response headers
-# only, so cached bytes stay byte-identical across fills.
+#               "timings": <host-volatile wall-clock phases>,
+#               "telemetry": <this request's registry delta + spans>} -- the
+# daemon caches/serves the payload and reports the timings via response
+# headers only, so cached bytes stay byte-identical across fills.  The
+# telemetry key rides *outside* the cached payload: the daemon merges it
+# into its own registry when (and only when) the body ran in a separate
+# worker process.
 
 
 def _renderings(run: Run) -> dict:
@@ -126,41 +143,48 @@ def _renderings(run: Run) -> dict:
 
 def execute_run_payload(payload: dict) -> dict:
     """The ``POST /run`` worker body: one RunRequest -> one Run export."""
+    from repro import telemetry as _telemetry
     from repro.api.session import Session
     from repro.workloads import registry
     request = RunRequest.from_dict(payload)
-    session = Session(request.platform, vendor_driver=request.vendor_driver)
-    spec = request.spec
-    vendor_driver = (request.vendor_driver if spec.vendor_driver is None
-                     else spec.vendor_driver)
-    try:
-        machine = _take_machine((session.platform, vendor_driver, spec.cpus))
-        if spec.cpus > 1:
-            session.adopt_smp_machine(machine, spec.cpus, vendor_driver)
-        else:
-            session.adopt_machine(machine, vendor_driver)
-    except ValueError:
-        # A machine that cannot be built ahead of time (e.g. more harts
-        # than the board has) is the session's call: it degrades the run
-        # into run.errors exactly like the in-process CLI path does.
-        pass
-    workload = registry.create(request.workload, **dict(request.params))
-    run = session.run(workload, spec)
+    with _telemetry.capture(spans=request.spec.telemetry) as captured:
+        session = Session(request.platform,
+                          vendor_driver=request.vendor_driver)
+        spec = request.spec
+        vendor_driver = (request.vendor_driver if spec.vendor_driver is None
+                         else spec.vendor_driver)
+        try:
+            machine = _take_machine(
+                (session.platform, vendor_driver, spec.cpus))
+            if spec.cpus > 1:
+                session.adopt_smp_machine(machine, spec.cpus, vendor_driver)
+            else:
+                session.adopt_machine(machine, vendor_driver)
+        except ValueError:
+            # A machine that cannot be built ahead of time (e.g. more harts
+            # than the board has) is the session's call: it degrades the run
+            # into run.errors exactly like the in-process CLI path does.
+            pass
+        workload = registry.create(request.workload, **dict(request.params))
+        run = session.run(workload, spec)
     return {
         "payload": {"run": run.deterministic_dict(),
                     "renderings": _renderings(run)},
         "timings": dict(run.timings),
+        "telemetry": captured.to_wire(),
     }
 
 
 def execute_compare_payload(payload: dict) -> dict:
     """The ``POST /compare`` worker body: one multi-platform Comparison."""
+    from repro import telemetry as _telemetry
     from repro.api.session import Session
     from repro.api.spec import ProfileSpec
     spec = ProfileSpec.from_dict(payload.get("spec", {}))
-    comparison = Session.compare(
-        payload["platforms"], payload["workload"], spec,
-        workload_params=dict(payload.get("params", {})))
+    with _telemetry.capture(spans=spec.telemetry) as captured:
+        comparison = Session.compare(
+            payload["platforms"], payload["workload"], spec,
+            workload_params=dict(payload.get("params", {})))
     timings: Dict[str, float] = {}
     for run in comparison.runs:
         for phase, seconds in run.timings.items():
@@ -169,20 +193,24 @@ def execute_compare_payload(payload: dict) -> dict:
         "payload": {"comparison": wire.strip_timings(comparison.to_dict()),
                     "report": comparison.report()},
         "timings": timings,
+        "telemetry": captured.to_wire(),
     }
 
 
 def execute_analyze_payload(payload: dict) -> dict:
     """The ``POST /analyze`` worker body: the static-analysis report."""
+    from repro import telemetry as _telemetry
     from repro.analysis.report import build_analyze_report
-    report = build_analyze_report(
-        platform=payload["platform"],
-        cpus=int(payload.get("cpus", 1)),
-        workload=payload.get("workload"),
-        params=dict(payload.get("params", {})),
-        all_workloads=bool(payload.get("all", False)),
-    )
-    return {"payload": {"analyze": report}, "timings": {}}
+    with _telemetry.capture() as captured:
+        report = build_analyze_report(
+            platform=payload["platform"],
+            cpus=int(payload.get("cpus", 1)),
+            workload=payload.get("workload"),
+            params=dict(payload.get("params", {})),
+            all_workloads=bool(payload.get("all", False)),
+        )
+    return {"payload": {"analyze": report}, "timings": {},
+            "telemetry": captured.to_wire()}
 
 
 # -- daemon-side pool management ----------------------------------------------------------

@@ -27,6 +27,8 @@ import hashlib
 import json
 from typing import Optional
 
+from repro.api.run import strip_timings as _strip_timings
+
 
 def canonical_json(payload: object) -> str:
     """The key-order-insensitive serialization cache keys hash over."""
@@ -66,14 +68,9 @@ def error_payload(kind: str, message: str,
 def strip_timings(payload: object) -> object:
     """Drop every ``timings`` key, recursively.
 
-    Wall-clock phase timings are the one intentionally non-deterministic
-    field a :class:`~repro.api.run.Run` exports; anything the cache stores
-    must exclude them (nested occurrences included -- a Comparison embeds
-    one Run per platform).
+    Anything the cache stores must exclude wall-clock phase timings (nested
+    occurrences included -- a Comparison embeds one Run per platform).
+    Delegates to the canonical normalizer in :mod:`repro.api.run`, which the
+    golden suite and :meth:`~repro.api.run.Run.deterministic_dict` share.
     """
-    if isinstance(payload, dict):
-        return {key: strip_timings(value) for key, value in payload.items()
-                if key != "timings"}
-    if isinstance(payload, list):
-        return [strip_timings(item) for item in payload]
-    return payload
+    return _strip_timings(payload)

@@ -256,3 +256,21 @@ class SharedMemorySystem:
             },
             "controller": self.controller.stats(),
         }
+
+    def fast_path_hits(self) -> Dict[str, int]:
+        """System-wide same-line short-circuit hits per level name.
+
+        Private levels are summed across harts; each shared level is counted
+        once (the per-hart views alias the same :class:`Cache` instances).
+        Observability only -- see
+        :meth:`repro.cpu.cache.FastPathHierarchy.fast_path_hits`.
+        """
+        totals: Dict[str, int] = {}
+        for hierarchy in self.hierarchies.values():
+            for cache in hierarchy.private_levels:
+                name = cache.config.name
+                totals[name] = totals.get(name, 0) + cache.mru_hits
+        for cache in self.shared_levels:
+            name = cache.config.name
+            totals[name] = totals.get(name, 0) + cache.mru_hits
+        return totals

@@ -81,14 +81,26 @@ class ScheduleTrace:
     def quanta_on(self, hart_id: int) -> List[str]:
         return [name for hid, name in self.quanta if hid == hart_id]
 
+    def quanta_per_hart(self) -> Dict[int, int]:
+        """Executed quantum count per hart (every hart, including idle ones).
+
+        The scheduler's quantum accounting in one shape: :meth:`to_dict`
+        exports it and the telemetry run collector folds it into the
+        ``repro_scheduler_quanta_total`` series.
+        """
+        counts = {hart: 0 for hart in range(self.cpus)}
+        for hart_id, _name in self.quanta:
+            counts[hart_id] += 1
+        return counts
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "cpus": self.cpus,
             "total_quanta": self.total_quanta,
             "threads_per_hart": {str(k): v
                                  for k, v in sorted(self.threads_per_hart.items())},
-            "quanta_per_hart": {str(hart): len(self.quanta_on(hart))
-                                for hart in range(self.cpus)},
+            "quanta_per_hart": {str(hart): count
+                                for hart, count in self.quanta_per_hart().items()},
         }
 
 

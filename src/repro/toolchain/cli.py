@@ -23,6 +23,9 @@ and vendor-driver setting goes down exactly one code path.
   ``unknown`` race verdicts;
 * ``lint [paths]``            -- the determinism linter over the repo's own
   source (or the given paths); nonzero exit on violations;
+* ``metrics``                 -- dump the unified telemetry registry after
+  one local counting run, or fetch and pretty-print a daemon's
+  ``/metrics`` (``--server``);
 * ``serve``                   -- the profiling daemon (warm worker pools,
   content-addressed result cache, bounded admission with backpressure);
   see :mod:`repro.service`.
@@ -49,6 +52,12 @@ short-circuits.
 processes (bit-identical Comparison, in platform order); ``--timings`` on
 stat/compare prints wall-clock compile/execute/analyses phase timings to
 stderr.
+``--trace PATH`` on stat/record/compare/analyze/serve records the command's
+structured span tree (compile/lower/predecode/execute/analyses/export) and
+writes it as Chrome trace-event JSON -- loadable in Perfetto or
+``chrome://tracing`` -- or as JSONL when PATH ends in ``.jsonl``.  Tracing
+is observability only: the profiled output is byte-identical with and
+without it.
 """
 
 from __future__ import annotations
@@ -73,6 +82,7 @@ from repro.kernel.perf_event import PerfEventOpenError
 from repro.platforms import Machine, all_platforms, platform_by_name
 from repro.pmu.vendors import all_capabilities
 from repro.roofline.plot import render_ascii_roofline, render_svg_roofline
+from repro.telemetry import span as _span
 from repro.workloads import registry
 
 
@@ -249,10 +259,12 @@ def cmd_stat(args: argparse.Namespace) -> int:
     if "stat" in run.errors:
         print(f"stat failed: {run.errors['stat']}", file=sys.stderr)
         return 1
-    if args.json:
-        print(run.to_json())
-    else:
-        print(run.stat.format())
+    with _span("export", cat="cli",
+               format="json" if args.json else "text"):
+        if args.json:
+            print(run.to_json())
+        else:
+            print(run.stat.format())
     _print_timings(args, run)
     return 0
 
@@ -268,12 +280,14 @@ def cmd_record(args: argparse.Namespace) -> int:
     if "sampling" in run.errors:
         print(f"record failed: {run.errors['sampling']}", file=sys.stderr)
         return 1
-    if args.json:
-        print(run.to_json())
-        return 0
-    print(run.recording.describe())
-    print()
-    print(run.hotspots.format())
+    with _span("export", cat="cli",
+               format="json" if args.json else "text"):
+        if args.json:
+            print(run.to_json())
+            return 0
+        print(run.recording.describe())
+        print()
+        print(run.hotspots.format())
     return 0
 
 
@@ -352,10 +366,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     comparison = Session.compare(
         args.platforms, args.workload, spec,
         workers=args.workers, workload_params=_workload_params(args))
-    if args.json:
-        print(comparison.to_json())
-    else:
-        print(comparison.report())
+    with _span("export", cat="cli",
+               format="json" if args.json else "text"):
+        if args.json:
+            print(comparison.to_json())
+        else:
+            print(comparison.report())
     _print_timings(args, *comparison.runs)
     return 0
 
@@ -390,6 +406,33 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(f"race certification failed for: {', '.join(bad)}",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump the telemetry registry (local run) or a daemon's ``/metrics``."""
+    from repro import telemetry
+    if args.server:
+        from repro.service.client import ServiceError
+        try:
+            if args.format == "prometheus":
+                print(_remote_client(args).metrics(format="prometheus"),
+                      end="")
+            else:
+                print(json.dumps(_remote_client(args).metrics(), indent=2))
+        except ServiceError as error:
+            print(f"metrics failed: {error}", file=sys.stderr)
+            return 1
+        return 0
+    spec = ProfileSpec(**_fast_paths(args)).counting()
+    run = _session(args).run(_workload(args), spec, cpus=_cpus(args))
+    if "stat" in run.errors:
+        print(f"metrics failed: {run.errors['stat']}", file=sys.stderr)
+        return 1
+    if args.format == "prometheus":
+        print(telemetry.REGISTRY.prometheus(), end="")
+    else:
+        print(json.dumps(telemetry.REGISTRY.to_dict(), indent=2))
     return 0
 
 
@@ -476,6 +519,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "at URL instead of profiling in process "
                               "(same output, minus wall-clock timings)")
 
+    def add_trace(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--trace", default=None, metavar="PATH",
+                         help="record this command's structured spans and "
+                              "write them as Chrome trace-event JSON "
+                              "(Perfetto-loadable; a .jsonl PATH writes "
+                              "JSON-lines instead)")
+
     def add_dispatch(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--no-fast-dispatch", action="store_true",
                          help="run compiled kernels on the reference "
@@ -505,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print wall-clock phase timings "
                            "(compile/execute/analyses) to stderr")
     add_server(stat)
+    add_trace(stat)
     stat.set_defaults(func=cmd_stat)
 
     record = subparsers.add_parser("record", help="sampling profile + hotspots")
@@ -515,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--period", type=int, default=20_000)
     record.add_argument("--json", action="store_true", help="emit JSON")
     add_server(record)
+    add_trace(record)
     record.set_defaults(func=cmd_record)
 
     flame = subparsers.add_parser("flamegraph", help="render a flame graph")
@@ -561,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(compile/execute/analyses) to stderr")
     compare.add_argument("--json", action="store_true", help="emit JSON")
     add_server(compare)
+    add_trace(compare)
     compare.set_defaults(func=cmd_compare)
 
     analyze = subparsers.add_parser(
@@ -575,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "analysis (default 1)")
     analyze.add_argument("--json", action="store_true", help="emit JSON")
     add_server(analyze)
+    add_trace(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     serve = subparsers.add_parser(
@@ -604,7 +658,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-warm-kernels", action="store_true",
                        help="skip precompiling registry kernels at worker "
                             "spawn")
+    add_trace(serve)
     serve.set_defaults(func=cmd_serve)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="dump the unified telemetry registry after one "
+                        "local counting run, or fetch a daemon's /metrics")
+    add_platform(metrics)
+    add_workload(metrics, "matmul-tiled")
+    add_cpus(metrics)
+    add_dispatch(metrics)
+    metrics.add_argument("--format", choices=["json", "prometheus"],
+                         default="json",
+                         help="output format (default: json)")
+    add_server(metrics)
+    metrics.set_defaults(func=cmd_metrics)
 
     lint = subparsers.add_parser(
         "lint", help="determinism linter (hash/id, set iteration, "
@@ -617,10 +685,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_traced(args: argparse.Namespace) -> int:
+    """Run one subcommand with the span tracer on, then write the trace.
+
+    The trace is written even when the command fails -- the spans up to the
+    failure are exactly what one wants to look at then.
+    """
+    from repro import telemetry
+    from repro.telemetry.trace import write_trace
+    telemetry.enable()
+    try:
+        with telemetry.span("cli", cat="cli", command=args.command):
+            return args.func(args)
+    finally:
+        telemetry.disable()
+        write_trace(args.trace, telemetry.TRACER.drain())
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "trace", None):
+            return _run_traced(args)
         return args.func(args)
     except (KeyError, ValueError, SamplingNotSupportedError,
             PerfEventOpenError) as error:

@@ -106,6 +106,7 @@ from repro.compiler.transforms.vectorize import VECTOR_WIDTH_KEY
 from repro.isa.machine_ops import MachineOp
 from repro.kernel.task import Task
 from repro.platforms.machine import Machine
+from repro.telemetry import span as _span
 from repro.vm.memory import Memory
 
 
@@ -724,12 +725,14 @@ class ExecutionEngine:
     # -- predecoding --------------------------------------------------------------------------
 
     def _decode_function(self, function: Function) -> _DecodedFunction:
-        dmap = {block: _DecodedBlock(block.name) for block in function.blocks}
-        for block in function.blocks:
-            self._decode_block(function, block, dmap)
-        decoded = _DecodedFunction(dmap[function.entry_block])
-        self._decoded[function] = decoded
-        return decoded
+        with _span("predecode", cat="engine", function=function.name,
+                   blocks=len(function.blocks)):
+            dmap = {block: _DecodedBlock(block.name) for block in function.blocks}
+            for block in function.blocks:
+                self._decode_block(function, block, dmap)
+            decoded = _DecodedFunction(dmap[function.entry_block])
+            self._decoded[function] = decoded
+            return decoded
 
     def _decode_block(self, function: Function, block: BasicBlock,
                       dmap: Dict[BasicBlock, _DecodedBlock]) -> None:
@@ -806,6 +809,8 @@ class ExecutionEngine:
         if self.machine is None or not self.block_delta:
             return None
         delta = self._classify_block_delta_runtime(block, body, terminator)
+        stats = self.machine.delta_stats
+        stats["eligible" if delta is not None else "ineligible"] += 1
         self._cross_check_static_delta(block, delta is not None)
         return delta
 
@@ -818,6 +823,7 @@ class ExecutionEngine:
         cache = self.machine.block_deltas
         cached = cache.get(block)
         if cached is not None:
+            self.machine.delta_stats["cache_hits"] += 1
             return cached
         lower = self.target.lower_cached
         pc_of = self._pc_of
@@ -838,6 +844,7 @@ class ExecutionEngine:
             return None
         delta = self.machine.core.block_delta_for(ops)
         cache[block] = delta
+        self.machine.delta_stats["cache_misses"] += 1
         return delta
 
     def _cross_check_static_delta(self, block: BasicBlock,

@@ -20,6 +20,7 @@ import os
 
 import pytest
 
+from repro.api.run import strip_timings as _strip_timings
 from repro.toolchain.cli import main as cli_main
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
@@ -56,19 +57,10 @@ def _capture(capsys, argv):
     return out
 
 
-def _strip_timings(payload):
-    """Drop every ``timings`` key, recursively.
-
-    Wall-clock phase timings are the one intentionally non-deterministic
-    field a Run exports; golden comparisons exclude them (and the goldens
-    are stored without them).
-    """
-    if isinstance(payload, dict):
-        return {key: _strip_timings(value) for key, value in payload.items()
-                if key != "timings"}
-    if isinstance(payload, list):
-        return [_strip_timings(item) for item in payload]
-    return payload
+# Wall-clock phase timings are the one intentionally non-deterministic field
+# a Run exports; golden comparisons exclude them (and the goldens are stored
+# without them) via the same canonical strip_timings the wire format and
+# Run.deterministic_dict() use.
 
 
 def _normalize(out: str) -> str:

@@ -14,6 +14,7 @@ in-process CLI modulo the stripped ``timings`` key.
 
 import json
 import os
+import re
 import urllib.request
 
 import pytest
@@ -337,6 +338,10 @@ def test_identical_requests_execute_once(server, client):
     assert (first.cache, second.cache) == ("miss", "hit")
     assert client.metrics()["executions"]["POST /run"] == executions
     assert second.payload == first.payload
+    # Every response -- hits included -- carries a distinct trace id.
+    assert re.fullmatch(r"req-\d{6}", first.trace_id)
+    assert re.fullmatch(r"req-\d{6}", second.trace_id)
+    assert first.trace_id != second.trace_id
 
 
 def test_plan_serves_each_request_from_the_run_cache(server, client):
@@ -538,8 +543,12 @@ def test_cli_server_unreachable_daemon_fails_cleanly(capsys):
 
 def _normalized_metrics(metrics: dict) -> dict:
     """The deterministic projection of /metrics: latency histograms reduce
-    to their counts (durations are host wall-clock)."""
+    to their counts (durations are host wall-clock), and the ``engine`` key
+    is dropped entirely -- the unified registry is process-global, so its
+    series depend on whatever else ran in this pytest process (and its
+    phase histograms carry wall-clock sums)."""
     normalized = dict(metrics)
+    normalized.pop("engine", None)
     normalized["latency_seconds"] = {
         endpoint: {"count": histogram["count"]}
         for endpoint, histogram in metrics["latency_seconds"].items()}
@@ -571,7 +580,14 @@ def test_metrics_golden(request):
                  "spec": dict(_COUNTING, seed=1)},
             ])
         client.healthz()
-        normalized = json.dumps(_normalized_metrics(client.metrics()),
+        metrics = client.metrics()
+        # The unified-registry series ride under "engine": run tallies from
+        # the executed requests plus the daemon's own admission accounting.
+        engine = metrics["engine"]
+        assert "repro_runs_total" in engine
+        assert "repro_service_admitted_total" in engine
+        assert "repro_result_cache" in engine
+        normalized = json.dumps(_normalized_metrics(metrics),
                                 indent=2) + "\n"
         # The Prometheus rendering exposes the same counters.
         prometheus = client.metrics(format="prometheus")
@@ -579,6 +595,9 @@ def test_metrics_golden(request):
         assert 'repro_requests_total{endpoint="POST /run"} 4' in prometheus
         assert "repro_cache_hits_total 1" in prometheus
         assert "repro_rejected_total 1" in prometheus
+        # ... and the unified registry is appended after the service families.
+        assert "# TYPE repro_runs_total counter" in prometheus
+        assert "# TYPE repro_service_queue gauge" in prometheus
 
     path = os.path.join(GOLDEN_DIR, "service_metrics.json")
     if request.config.getoption("--update-goldens"):
