@@ -8,8 +8,16 @@ one-step way to bless an intentional output change.
 
 import os
 import sys
+import tempfile
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+# Hermetic disk cache: point the persistent artifact store at a per-run
+# temporary directory unless the environment already pins one, so test
+# processes (and their pool workers, which inherit the environment) never
+# read or pollute the developer's ~/.cache/repro.
+os.environ.setdefault("REPRO_CACHE_DIR",
+                      tempfile.mkdtemp(prefix="repro-test-cache-"))
 
 
 def pytest_addoption(parser):

@@ -26,6 +26,7 @@ on pc, so the uncached neutral-pc lowering decides identically.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -143,6 +144,63 @@ def certify_module(module: Module, target: TargetLowering) -> None:
     """Attach static block-delta verdicts to every defined function."""
     for function in module.defined_functions():
         certify_function(function, target)
+
+
+def certify_module_cached(module: Module, target: TargetLowering,
+                          module_digest: Optional[str] = None,
+                          store=None) -> None:
+    """Certify *module*, serving the verdict maps from the disk store.
+
+    Verdicts are a pure function of (module content, target lowering), so
+    they are content-addressed by the module's digest (the compile cache's
+    :func:`~repro.compiler.cache.module_cache_key`) plus :func:`target_key`.
+    A stored map that fails to load, has an unexpected shape, or does not
+    cover exactly this module's functions and blocks is ignored and the
+    verdicts are recomputed -- the classifier is the source of truth; the
+    store only skips re-deriving it.  Without a store (or a digest) this is
+    plain :func:`certify_module`.
+    """
+    if store is None:
+        from repro.cache.store import default_store
+        store = default_store()
+    if store is None or module_digest is None:
+        certify_module(module, target)
+        return
+    from repro.cache.keys import cache_key
+    key = cache_key("verdicts", {"module": module_digest,
+                                 "target": target_key(target)})
+    payload = store.get("verdicts", key)
+    if payload is not None and _install_verdicts(module, target, payload):
+        return
+    certify_module(module, target)
+    shipped = {function.name: verdicts_for(function, target)
+               for function in module.defined_functions()}
+    store.put("verdicts", key, pickle.dumps(shipped, protocol=4))
+
+
+def _install_verdicts(module: Module, target: TargetLowering,
+                      payload: bytes) -> bool:
+    """Attach a shipped verdict map if it exactly covers *module*."""
+    try:
+        shipped = pickle.loads(payload)
+    except Exception:
+        return False
+    if not isinstance(shipped, dict):
+        return False
+    functions = list(module.defined_functions())
+    for function in functions:
+        verdict_map = shipped.get(function.name)
+        if not isinstance(verdict_map, dict):
+            return False
+        if set(verdict_map) != {block.name for block in function.blocks}:
+            return False
+        if not all(isinstance(verdict, BlockVerdict)
+                   for verdict in verdict_map.values()):
+            return False
+    for function in functions:
+        per_target = function.metadata.setdefault(STATIC_DELTA_KEY, {})
+        per_target[target_key(target)] = dict(shipped[function.name])
+    return True
 
 
 def is_certified(module: Module, target: TargetLowering) -> bool:

@@ -195,7 +195,7 @@ def _warmup_plan(requests: Sequence[RunRequest]) -> List[tuple]:
 def _warm_worker(warmups: Sequence[tuple]) -> None:
     """Pool initializer: precompile the plan's kernels into this worker's
     process-wide compile cache, so first runs don't pay cold compiles."""
-    from repro.compiler.cache import compile_source_cached
+    from repro.compiler.cache import compile_source_cached, reset_stats
     from repro.platforms import platform_by_name
     for platform, source, filename, enable_vectorizer in warmups:
         try:
@@ -207,6 +207,10 @@ def _warm_worker(warmups: Sequence[tuple]) -> None:
             # Warmup is best-effort; a kernel that cannot compile surfaces
             # its real error in the run that needs it.
             pass
+    # Warmup compiles are pool overhead, not request work: zero the tallies
+    # so cache_stats() -- and the telemetry folded from it -- attributes
+    # only request-driven compiles.
+    reset_stats()
 
 
 def _check_picklable(requests: Sequence[RunRequest]) -> None:

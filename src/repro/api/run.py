@@ -173,6 +173,24 @@ class Run:
         """
         return strip_timings(self.to_dict())
 
+    def renderings(self) -> Dict[str, str]:
+        """Pre-rendered text views of this run (stat table, recording
+        summary, hotspot table).
+
+        The service and the sweep engine ship these alongside
+        :meth:`deterministic_dict` so remote/cached consumers print exactly
+        what the in-process CLI would, without reconstructing result
+        objects from dicts.  Deterministic like every other exporter.
+        """
+        renderings: Dict[str, str] = {}
+        if self.stat is not None:
+            renderings["stat"] = self.stat.format()
+        if self.recording is not None:
+            renderings["recording"] = self.recording.describe()
+        if self.hotspots is not None:
+            renderings["hotspots"] = self.hotspots.format()
+        return renderings
+
     def format_timings(self) -> str:
         """One-line wall-clock phase report (the CLI's ``--timings`` output)."""
         if not self.timings:

@@ -1,0 +1,34 @@
+"""Persistent content-addressed caches (disk artifact store + key scheme).
+
+See :mod:`repro.cache.store` for the on-disk format and
+:mod:`repro.cache.keys` for the canonical content addresses every cache in
+the repo shares (compile memo, disk store, service result cache).
+"""
+
+from repro.cache.keys import (
+    cache_key,
+    canonical_json,
+    encode_body,
+    lowering_config,
+    module_key,
+)
+from repro.cache.store import (
+    DiskCache,
+    SCHEMA_VERSION,
+    cache_enabled,
+    default_cache_dir,
+    default_store,
+)
+
+__all__ = [
+    "DiskCache",
+    "SCHEMA_VERSION",
+    "cache_enabled",
+    "cache_key",
+    "canonical_json",
+    "default_cache_dir",
+    "default_store",
+    "encode_body",
+    "lowering_config",
+    "module_key",
+]

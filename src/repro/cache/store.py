@@ -1,0 +1,280 @@
+"""Dependency-free, content-addressed, disk-persistent artifact store.
+
+The pattern behind ccache and Bazel's action cache, reduced to the stdlib:
+artifacts live as flat files under a *versioned* cache directory,
+
+    <root>/v1/<kind>/<key[:2]>/<key>
+
+addressed by the sha256 content keys of :mod:`repro.cache.keys`.  Every
+entry is a self-describing envelope::
+
+    magic | header length | header JSON | payload bytes
+
+where the header records the schema version, the kind, the key and the
+payload's sha256 + size.  :meth:`DiskCache.get` re-derives the payload hash
+on every read and treats *any* defect -- truncation, a flipped bit, a
+foreign or future schema, a kind/key mismatch -- as a miss: the corrupt
+entry is removed and the caller recomputes, so a damaged cache can cost
+time but never correctness.  Writes go through a same-directory temp file
+and ``os.replace``, so concurrent writers (two ``run_many`` workers racing
+on one key) each leave a complete, readable entry and readers never observe
+a partial write.
+
+The store is a throughput lever, never a correctness dependency: every
+artifact it holds is byte-reproducible from its inputs (the differential
+suites enforce it), so serving from disk is equivalent to recomputing.
+
+Process-wide wiring: :func:`default_store` resolves the shared store from
+``REPRO_CACHE_DIR`` (default ``$XDG_CACHE_HOME/repro`` or
+``~/.cache/repro``); ``REPRO_DISK_CACHE=0|off|false|no`` disables disk
+persistence entirely.  Lookup outcomes land in the unified telemetry
+registry (``repro_disk_cache_total{outcome=hit|miss|integrity_failure|
+write}``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import struct
+import tempfile
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro import telemetry as _telemetry
+
+#: Bump to invalidate every existing entry (the version names the root dir).
+SCHEMA_VERSION = 1
+
+_MAGIC = b"RPROCACH"
+_HEADER_LEN = struct.Struct(">I")
+
+#: Values of ``REPRO_DISK_CACHE`` that turn disk persistence off.
+_OFF_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def _count(outcome: str, kind: str) -> None:
+    _telemetry.REGISTRY.counter(
+        "repro_disk_cache_total",
+        "Disk artifact-store lookups by outcome").inc(
+            outcome=outcome, kind=kind)
+
+
+class DiskCache:
+    """One content-addressed store rooted at a cache directory."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.version_dir = os.path.join(self.root, f"v{SCHEMA_VERSION}")
+        # Plain process-wide tallies, mirrored into the telemetry registry
+        # at the lookup sites (counter labels carry the artifact kind).
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.integrity_failures = 0
+
+    # -- layout -------------------------------------------------------------------------
+
+    def entry_path(self, kind: str, key: str) -> str:
+        return os.path.join(self.version_dir, kind, key[:2], key)
+
+    def entries(self, kind: Optional[str] = None) -> Iterator[Tuple[str, str, str]]:
+        """Every stored ``(kind, key, path)``, in deterministic sorted order."""
+        if not os.path.isdir(self.version_dir):
+            return
+        kinds = [kind] if kind is not None else sorted(
+            name for name in os.listdir(self.version_dir)
+            if os.path.isdir(os.path.join(self.version_dir, name)))
+        for entry_kind in kinds:
+            kind_dir = os.path.join(self.version_dir, entry_kind)
+            if not os.path.isdir(kind_dir):
+                continue
+            for shard in sorted(os.listdir(kind_dir)):
+                shard_dir = os.path.join(kind_dir, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for key in sorted(os.listdir(shard_dir)):
+                    path = os.path.join(shard_dir, key)
+                    if os.path.isfile(path):
+                        yield entry_kind, key, path
+
+    # -- envelope -----------------------------------------------------------------------
+
+    @staticmethod
+    def _encode(kind: str, key: str, payload: bytes) -> bytes:
+        header = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "key": key,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "size": len(payload),
+        }, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        return _MAGIC + _HEADER_LEN.pack(len(header)) + header + payload
+
+    @staticmethod
+    def _decode(kind: str, key: str, blob: bytes) -> Optional[bytes]:
+        """The payload of a well-formed entry, or None on any defect."""
+        prefix = len(_MAGIC) + _HEADER_LEN.size
+        if len(blob) < prefix or not blob.startswith(_MAGIC):
+            return None
+        (header_len,) = _HEADER_LEN.unpack(blob[len(_MAGIC):prefix])
+        if len(blob) < prefix + header_len:
+            return None
+        try:
+            header = json.loads(blob[prefix:prefix + header_len])
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        payload = blob[prefix + header_len:]
+        if not isinstance(header, dict) \
+                or header.get("schema") != SCHEMA_VERSION \
+                or header.get("kind") != kind \
+                or header.get("key") != key \
+                or header.get("size") != len(payload) \
+                or header.get("sha256") != hashlib.sha256(payload).hexdigest():
+            return None
+        return payload
+
+    # -- store operations ---------------------------------------------------------------
+
+    def get(self, kind: str, key: str) -> Optional[bytes]:
+        """The stored payload, or None (counted miss; corrupt entries are
+        removed and counted as integrity failures)."""
+        path = self.entry_path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            self.misses += 1
+            _count("miss", kind)
+            return None
+        payload = self._decode(kind, key, blob)
+        if payload is None:
+            self.integrity_failures += 1
+            _count("integrity_failure", kind)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        _count("hit", kind)
+        return payload
+
+    def put(self, kind: str, key: str, payload: bytes) -> bool:
+        """Store *payload* atomically; best-effort (False on an I/O failure:
+        a full or read-only disk degrades to a cold cache, never an error)."""
+        path = self.entry_path(kind, key)
+        blob = self._encode(kind, key, payload)
+        tmp_path = None
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=key + ".", suffix=".tmp", dir=os.path.dirname(path))
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, path)
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+            return False
+        self.writes += 1
+        _count("write", kind)
+        return True
+
+    def clear(self) -> int:
+        """Remove every entry (the whole versioned tree); returns the count."""
+        removed = sum(1 for _entry in self.entries())
+        shutil.rmtree(self.version_dir, ignore_errors=True)
+        return removed
+
+    def verify(self, remove: bool = True) -> dict:
+        """Integrity-check every entry; corrupt ones are removed by default."""
+        checked = ok = corrupt = removed = 0
+        for kind, key, path in list(self.entries()):
+            checked += 1
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            except OSError:
+                continue
+            if self._decode(kind, key, blob) is not None:
+                ok += 1
+                continue
+            corrupt += 1
+            if remove:
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return {"checked": checked, "ok": ok, "corrupt": corrupt,
+                "removed": removed}
+
+    def stats(self, scan: bool = False) -> Dict[str, object]:
+        """Process tallies; ``scan=True`` adds on-disk entry/byte totals."""
+        stats: Dict[str, object] = {
+            "root": self.root,
+            "schema": SCHEMA_VERSION,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "integrity_failures": self.integrity_failures,
+        }
+        if scan:
+            entries = 0
+            payload_bytes = 0
+            per_kind: Dict[str, int] = {}
+            for kind, _key, path in self.entries():
+                entries += 1
+                per_kind[kind] = per_kind.get(kind, 0) + 1
+                try:
+                    payload_bytes += os.path.getsize(path)
+                except OSError:
+                    pass
+            stats["entries"] = entries
+            stats["bytes"] = payload_bytes
+            stats["kinds"] = per_kind
+        return stats
+
+
+# -- process-wide default store -----------------------------------------------------------
+
+_STORES: Dict[str, DiskCache] = {}
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured:
+        return configured
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+def cache_enabled() -> bool:
+    """Whether disk persistence is on (``REPRO_DISK_CACHE`` can turn it off)."""
+    return os.environ.get(
+        "REPRO_DISK_CACHE", "").strip().lower() not in _OFF_VALUES
+
+
+def default_store() -> Optional[DiskCache]:
+    """The process's shared store, or None when disk persistence is off.
+
+    Stores are memoized per resolved root, so a test that repoints
+    ``REPRO_CACHE_DIR`` gets a fresh store while same-root callers share
+    one set of tallies.
+    """
+    if not cache_enabled():
+        return None
+    root = os.path.abspath(default_cache_dir())
+    store = _STORES.get(root)
+    if store is None:
+        store = DiskCache(root)
+        _STORES[root] = store
+    return store

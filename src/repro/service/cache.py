@@ -8,10 +8,20 @@ equivalent to re-running the request; the cache is purely a throughput
 lever, so its policy can stay simple: least-recently-used eviction under a
 fixed entry bound.
 
-Accounting distinguishes *hits* (served from cache), *misses* (executed,
-then filled) and *bypasses* (client sent the no-cache header: executed and
-re-filled without consulting the cache), plus evictions -- the numbers
-``GET /metrics`` reports.
+An optional disk store (:class:`repro.cache.store.DiskCache`) backs the
+memory layer: fills are written through content-addressed under the
+``result`` kind, and a memory miss consults the store before executing.
+Entries persist across daemon restarts -- and across *processes*: a
+``repro sweep`` filling the same store leaves hits for the daemon and vice
+versa.  A corrupt or truncated disk entry is detected by the store's
+integrity check and falls through to execution, so disk damage costs time,
+never correctness.
+
+Accounting distinguishes *hits* (served from cache -- memory or disk),
+*misses* (executed, then filled) and *bypasses* (client sent the no-cache
+header: executed and re-filled without consulting the cache), plus
+evictions -- the numbers ``GET /metrics`` reports.  Disk-backed caches
+additionally report the disk layer's hit/miss split.
 """
 
 from __future__ import annotations
@@ -19,19 +29,24 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from repro.cache.keys import RESULT_KIND
+
 
 class ResultCache:
     """Bounded LRU of ``key -> response bytes`` with hit/miss accounting."""
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256, store=None):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1 (got {max_entries})")
         self.max_entries = max_entries
+        self.store = store
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -40,8 +55,19 @@ class ResultCache:
         return key in self._entries
 
     def get(self, key: str) -> Optional[bytes]:
-        """The cached bytes for *key*, refreshing recency; counts hit/miss."""
+        """The cached bytes for *key*, refreshing recency; counts hit/miss.
+
+        Memory first, then the disk store (when configured); a disk hit is
+        promoted into the memory layer and counted as a hit.
+        """
         body = self._entries.get(key)
+        if body is None and self.store is not None:
+            body = self.store.get(RESULT_KIND, key)
+            if body is None:
+                self.disk_misses += 1
+            else:
+                self.disk_hits += 1
+                self._fill_memory(key, body)
         if body is None:
             self.misses += 1
             return None
@@ -51,6 +77,11 @@ class ResultCache:
 
     def put(self, key: str, body: bytes) -> None:
         """Fill (or refresh) *key*, evicting the LRU tail past the bound."""
+        self._fill_memory(key, body)
+        if self.store is not None:
+            self.store.put(RESULT_KIND, key, body)
+
+    def _fill_memory(self, key: str, body: bytes) -> None:
         self._entries[key] = body
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
@@ -62,6 +93,7 @@ class ResultCache:
         self.bypasses += 1
 
     def clear(self) -> None:
+        """Drop the memory layer (disk entries, if any, are left in place)."""
         self._entries.clear()
 
     @property
@@ -70,7 +102,7 @@ class ResultCache:
         return self.hits / looked_up if looked_up else 0.0
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "entries": len(self._entries),
             "max_entries": self.max_entries,
             "hits": self.hits,
@@ -79,3 +111,7 @@ class ResultCache:
             "evictions": self.evictions,
             "hit_ratio": round(self.hit_ratio, 6),
         }
+        if self.store is not None:
+            stats["disk_hits"] = self.disk_hits
+            stats["disk_misses"] = self.disk_misses
+        return stats

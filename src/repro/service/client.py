@@ -33,7 +33,16 @@ class ServiceError(RuntimeError):
         self.payload = payload if isinstance(payload, dict) else {}
         self.kind = error.get("type", "Unknown")
         self.headers = dict(headers or {})
-        retry = error.get("retry_after", self.headers.get("Retry-After"))
+        # The daemon sends the same (possibly fractional) hint in the error
+        # body and the Retry-After header; honor either source identically,
+        # preferring the structured body and matching the header name
+        # case-insensitively (HTTP header names are).
+        retry = error.get("retry_after")
+        if retry is None:
+            for name, value in self.headers.items():
+                if name.lower() == "retry-after":
+                    retry = value
+                    break
         try:
             self.retry_after: Optional[float] = (
                 float(retry) if retry is not None else None)

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, Optional, Sequence, Tuple
@@ -113,6 +114,11 @@ class ServiceConfig:
     warm_cpus: Tuple[int, ...] = (1,)
     #: Whether the initializer precompiles every registry kernel workload.
     warm_kernels: bool = True
+    #: Optional disk-store root backing the result cache: filled entries
+    #: persist content-addressed under this directory, so a restarted
+    #: daemon (and ``repro sweep`` against the same store) serves them as
+    #: hits without re-executing.  None keeps the cache memory-only.
+    cache_dir: Optional[str] = None
 
 
 class _Reject(Exception):
@@ -140,7 +146,11 @@ class ReproService:
 
     def __init__(self, config: ServiceConfig):
         self.config = config
-        self.cache = ResultCache(config.cache_entries)
+        store = None
+        if config.cache_dir:
+            from repro.cache.store import DiskCache
+            store = DiskCache(config.cache_dir)
+        self.cache = ResultCache(config.cache_entries, store=store)
         self.metrics = ServiceMetrics()
         warm_configs = [(self._canonical_platform(name), True, cpus)
                         for name in config.warm_platforms
@@ -155,6 +165,10 @@ class ReproService:
         self._in_flight = 0
         #: Monotonic request ordinal; renders the X-Repro-Trace-Id header.
         self._request_seq = 0
+        #: Recent pool service times in seconds (executed requests only,
+        #: cache hits excluded) -- the observed service rate Retry-After
+        #: hints are derived from.
+        self._service_seconds: "deque[float]" = deque(maxlen=32)
         self._pending: Dict[str, asyncio.Future] = {}
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -440,9 +454,30 @@ class ReproService:
     def _bypass(self, request: _HttpRequest) -> bool:
         return request.headers.get(BYPASS_HEADER, "") not in ("", "0")
 
+    def _retry_after_hint(self, slots_needed: int = 1) -> float:
+        """A load-derived Retry-After: how long until the queue has drained
+        enough to admit *slots_needed* more requests.
+
+        The backlog (everything admitted plus the rejected request's slots)
+        drains in waves of ``pool.concurrency`` at the recently observed
+        mean service time, so the hint scales with actual load instead of
+        being a constant.  Before any request has completed there is no
+        observed rate; fall back to a tenth of the request timeout.
+        Clamped to [0.1s, request_timeout] -- fractional, so lightly loaded
+        daemons hint sub-second retries; clients parse it as a float from
+        header and body alike.
+        """
+        if not self._service_seconds:
+            return float(max(1, int(self.config.request_timeout / 10)))
+        mean = sum(self._service_seconds) / len(self._service_seconds)
+        backlog = self._admitted + slots_needed
+        waves = -(-backlog // self.pool.concurrency)  # ceil division
+        return min(self.config.request_timeout,
+                   max(0.1, round(waves * mean, 3)))
+
     def _check_admission(self, slots_needed: int = 1) -> None:
         if self._admitted + slots_needed > self.config.queue_limit:
-            retry_after = max(1, int(self.config.request_timeout / 10))
+            retry_after = self._retry_after_hint(slots_needed)
             raise _Reject(
                 429,
                 wire.error_payload(
@@ -450,7 +485,9 @@ class ReproService:
                     f"admission queue is full ({self._admitted} admitted, "
                     f"limit {self.config.queue_limit}); retry later",
                     retry_after=retry_after),
-                headers={"Retry-After": str(retry_after)})
+                # The same fractional value in the header and the error
+                # body: ServiceClient reads either source identically.
+                headers={"Retry-After": f"{retry_after:g}"})
 
     async def _execute_job(self, endpoint: str,
                            fn: Callable[[dict], dict],
@@ -486,10 +523,15 @@ class ReproService:
 
         future.add_done_callback(_release_when_done)
         self.metrics.count_execution(endpoint)
+        submitted = _now()
         try:
-            return await asyncio.wait_for(
+            result = await asyncio.wait_for(
                 asyncio.wrap_future(future, loop=loop),
                 self.config.request_timeout)
+            # Completed executions feed the observed service rate that
+            # sizes Retry-After hints under load.
+            self._service_seconds.append(_now() - submitted)
+            return result
         except asyncio.TimeoutError:
             self.metrics.timeouts += 1
             raise _Reject(504, wire.error_payload(

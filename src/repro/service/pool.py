@@ -29,7 +29,6 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.executor import RunRequest
-from repro.api.run import Run
 from repro.service import wire
 
 #: One warm configuration: (platform name, vendor_driver, cpus).
@@ -98,7 +97,7 @@ def warm_worker(configs: Sequence[WarmConfig],
     Best-effort by design -- a platform or kernel that cannot warm surfaces
     its real error in the request that needs it, not at pool spawn.
     """
-    from repro.compiler.cache import compile_source_cached
+    from repro.compiler.cache import compile_source_cached, reset_stats
     from repro.platforms import platform_by_name
     for config in configs:
         try:
@@ -113,6 +112,10 @@ def warm_worker(configs: Sequence[WarmConfig],
                                   enable_vectorizer)
         except Exception:
             pass
+    # Warmup compiles are pool overhead, not request work: zero the tallies
+    # so cache_stats() -- and /metrics series folded from it -- attribute
+    # only request-driven compiles.
+    reset_stats()
 
 
 # -- worker request bodies ----------------------------------------------------------------
@@ -125,20 +128,6 @@ def warm_worker(configs: Sequence[WarmConfig],
 # telemetry key rides *outside* the cached payload: the daemon merges it
 # into its own registry when (and only when) the body ran in a separate
 # worker process.
-
-
-def _renderings(run: Run) -> dict:
-    """Pre-rendered text views of a run, so ``--server`` CLI calls print
-    exactly what the in-process CLI would without reconstructing result
-    objects from dicts."""
-    renderings = {}
-    if run.stat is not None:
-        renderings["stat"] = run.stat.format()
-    if run.recording is not None:
-        renderings["recording"] = run.recording.describe()
-    if run.hotspots is not None:
-        renderings["hotspots"] = run.hotspots.format()
-    return renderings
 
 
 def execute_run_payload(payload: dict) -> dict:
@@ -169,7 +158,7 @@ def execute_run_payload(payload: dict) -> dict:
         run = session.run(workload, spec)
     return {
         "payload": {"run": run.deterministic_dict(),
-                    "renderings": _renderings(run)},
+                    "renderings": run.renderings()},
         "timings": dict(run.timings),
         "telemetry": captured.to_wire(),
     }

@@ -23,38 +23,19 @@ parsing prose.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from typing import Optional
 
 from repro.api.run import strip_timings as _strip_timings
+from repro.cache.keys import cache_key, canonical_json, encode_body
 
+__all__ = ["cache_key", "canonical_json", "encode_body", "error_payload",
+           "strip_timings"]
 
-def canonical_json(payload: object) -> str:
-    """The key-order-insensitive serialization cache keys hash over."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def encode_body(payload: object) -> bytes:
-    """Serialize a response payload to the bytes the cache stores/serves.
-
-    Key order is *preserved*, not sorted: the exporters build their dicts in
-    a fixed order, so the bytes are deterministic anyway, and preserving it
-    lets ``--server`` clients re-dump payloads into output byte-identical to
-    the in-process CLI's.
-    """
-    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
-
-
-def cache_key(kind: str, canonical_request: dict) -> str:
-    """Content address of one request: sha256 over (kind, canonical dict).
-
-    ``kind`` (``run``/``compare``/``analyze``) keeps the namespaces of the
-    different endpoints disjoint even where their request dicts could
-    collide.
-    """
-    body = canonical_json({"kind": kind, "request": canonical_request})
-    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+# canonical_json / encode_body / cache_key live in repro.cache.keys now --
+# the disk store and the sweep engine address the same artifacts the
+# service does, and sharing one key scheme is what makes a sweep-filled
+# cache serve daemon requests (and vice versa).  Re-exported here so the
+# service subsystem keeps one import site for its wire format.
 
 
 def error_payload(kind: str, message: str,

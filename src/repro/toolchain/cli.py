@@ -26,9 +26,18 @@ and vendor-driver setting goes down exactly one code path.
 * ``metrics``                 -- dump the unified telemetry registry after
   one local counting run, or fetch and pretty-print a daemon's
   ``/metrics`` (``--server``);
+* ``sweep``                   -- a cartesian profiling plan (platforms x
+  workloads x cpus x spec axes) through the persistent result cache:
+  cached cells are served from disk, the rest execute and fill it, and
+  the per-sweep trajectory lands in ``BENCH_sweep.json``; a repeated
+  identical sweep executes nothing (see :mod:`repro.api.sweep`);
+* ``cache {stats,clear,verify}`` -- inspect, empty or integrity-check the
+  persistent artifact store (``REPRO_CACHE_DIR`` / ``REPRO_DISK_CACHE``;
+  see :mod:`repro.cache`);
 * ``serve``                   -- the profiling daemon (warm worker pools,
   content-addressed result cache, bounded admission with backpressure);
-  see :mod:`repro.service`.
+  ``--cache-dir PATH`` persists results on disk so a restarted daemon
+  starts hot; see :mod:`repro.service`.
 
 ``--server URL`` on stat/record/compare/analyze sends the request to a
 running ``repro serve`` daemon instead of profiling in process; the output
@@ -436,6 +445,81 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(raw: str) -> tuple:
+    """One ``--axis KEY=V1,V2`` flag: a ProfileSpec field and its values.
+
+    Values parse as JSON where they can (``true``, ``3``, ``[1,2]``) and
+    fall back to the literal string, so ``--axis enable_vectorizer=true,false``
+    and ``--axis events=["cycles"]`` both work without quoting gymnastics.
+    """
+    name, sep, rest = raw.partition("=")
+    if not sep or not name or not rest:
+        raise ValueError(
+            f"malformed --axis {raw!r}; expected KEY=VALUE[,VALUE...]")
+    values = []
+    for token in rest.split(","):
+        try:
+            values.append(json.loads(token))
+        except json.JSONDecodeError:
+            values.append(token)
+    return name, values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a cartesian plan through the persistent result cache."""
+    import time
+
+    from repro.api.sweep import build_plan, sweep
+    from repro.cache.store import default_store
+
+    platforms = args.platforms or [d.name for d in all_platforms()]
+    workloads = args.workloads or sorted(registry)
+    axes = dict(_parse_axis(raw) for raw in args.axis or [])
+    plan = build_plan(platforms, workloads, cpus=tuple(args.cpus),
+                      axes=axes or None)
+    store = default_store()
+    if store is None and not args.bypass_cache:
+        print("warning: disk cache disabled (REPRO_DISK_CACHE=off); "
+              "every cell will execute", file=sys.stderr)
+    # Sweep elapsed time is reporting-only telemetry for the trajectory
+    # file; it never feeds modelled time or cached bytes.
+    started = time.monotonic()  # repro-lint: allow[wall-clock] -- trajectory reporting only
+    result = sweep(plan, workers=args.workers, store=store,
+                   bypass_cache=args.bypass_cache)
+    elapsed = time.monotonic() - started  # repro-lint: allow[wall-clock] -- trajectory reporting only
+    doc = result.write_trajectory(args.out, elapsed_seconds=elapsed)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(result.summary())
+        print(f"wrote {args.out}")
+    return 1 if any(outcome.errors for outcome in result.outcomes) else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect, empty or integrity-check the persistent artifact store."""
+    from repro.cache.store import DiskCache, cache_enabled, default_cache_dir
+    if not cache_enabled():
+        print("disk cache disabled (REPRO_DISK_CACHE=off)", file=sys.stderr)
+        return 1
+    store = DiskCache(default_cache_dir())
+    if args.action == "stats":
+        report = store.stats(scan=True)
+    elif args.action == "clear":
+        report = {"root": str(store.root), "removed": store.clear()}
+    else:  # verify
+        report = dict(store.verify(remove=not args.keep_corrupt),
+                      root=str(store.root))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for key in sorted(report):
+            print(f"{key}: {report[key]}")
+    if args.action == "verify" and report.get("corrupt"):
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the profiling daemon (see :mod:`repro.service`)."""
     from repro.service.daemon import ServiceConfig, serve
@@ -446,6 +530,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         request_timeout=args.request_timeout,
         cache_entries=args.cache_entries,
+        cache_dir=args.cache_dir,
         warm_platforms=tuple(args.warm_platforms),
         warm_cpus=tuple(args.warm_cpus),
         warm_kernels=not args.no_warm_kernels,
@@ -631,6 +716,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
+    sweep = subparsers.add_parser(
+        "sweep", help="cartesian profiling plan (platforms x workloads x "
+                      "cpus x spec axes) through the persistent result "
+                      "cache; repeated sweeps skip cached cells")
+    sweep.add_argument("--platforms", nargs="+", default=None,
+                       help="platform names (default: every modelled "
+                            "platform)")
+    sweep.add_argument("--workloads", nargs="+", default=None,
+                       help="registered workload names (default: every "
+                            "registered workload)")
+    sweep.add_argument("--cpus", nargs="+", type=int, default=[1],
+                       help="hart counts to sweep over (default: 1)")
+    sweep.add_argument("--axis", action="append", metavar="KEY=V1,V2",
+                       help="sweep a ProfileSpec field over values, e.g. "
+                            "--axis enable_vectorizer=true,false "
+                            "(repeatable; values parse as JSON, falling "
+                            "back to strings)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes for cache-miss cells "
+                            "(default: one per CPU)")
+    sweep.add_argument("--out", default="BENCH_sweep.json",
+                       help="trajectory file path "
+                            "(default: BENCH_sweep.json)")
+    sweep.add_argument("--bypass-cache", action="store_true",
+                       help="execute every cell, refilling the cache, "
+                            "without consulting it")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the trajectory document instead of the "
+                            "summary line")
+    sweep.set_defaults(func=cmd_sweep)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect, empty or integrity-check the persistent "
+                      "artifact store (REPRO_CACHE_DIR)")
+    cache.add_argument("action", choices=["stats", "clear", "verify"],
+                       help="stats: tallies and on-disk totals; clear: "
+                            "remove every entry; verify: integrity-check "
+                            "all entries (nonzero exit on corruption)")
+    cache.add_argument("--keep-corrupt", action="store_true",
+                       help="verify only: report corrupt entries without "
+                            "removing them")
+    cache.add_argument("--json", action="store_true", help="emit JSON")
+    cache.set_defaults(func=cmd_cache)
+
     serve = subparsers.add_parser(
         "serve", help="profiling-as-a-service daemon: warm worker pools, "
                       "content-addressed result cache, backpressure")
@@ -650,6 +779,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 300)")
     serve.add_argument("--cache-entries", type=int, default=256,
                        help="result-cache entry bound (default: 256)")
+    serve.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="back the result cache with a persistent disk "
+                            "store at PATH, so a restarted daemon serves "
+                            "previous results as hits (default: memory "
+                            "only)")
     serve.add_argument("--warm-platforms", nargs="+",
                        default=["SpacemiT X60"],
                        help="platforms whose machines each worker pre-builds")

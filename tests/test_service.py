@@ -416,8 +416,14 @@ def test_plan_flood_is_rejected_with_retry_after():
             ])
         error = excinfo.value
         assert (error.status, error.kind) == (429, "Overloaded")
+        # No request has completed yet, so the hint is the no-history
+        # fallback (a tenth of the request timeout), never below 1s.
         assert error.retry_after is not None and error.retry_after >= 1
-        assert error.headers.get("Retry-After") is not None
+        header = error.headers.get("Retry-After")
+        assert header is not None
+        # The header and the structured error body carry the same value.
+        assert float(header) == error.payload["error"]["retry_after"] \
+            == error.retry_after
         assert client.metrics()["rejected"] == 1
         # A single request still fits under the bound and fills the cache.
         single = client.run({"platform": "x60", "workload": "memset",
@@ -624,3 +630,113 @@ def test_capabilities_lists_platforms_workloads_endpoints(client):
     assert "memset" in capabilities["workloads"]
     assert "/run" in capabilities["endpoints"]
     assert capabilities["capabilities"], "Table-1 rows missing"
+
+
+# -- load-derived Retry-After -------------------------------------------------------------
+
+
+def _bare_service(**overrides):
+    """A ReproService without warm pools -- for unit-testing hint math."""
+    from repro.service.daemon import ReproService
+    defaults = dict(port=0, workers=0, warm_platforms=(),
+                    warm_kernels=False)
+    defaults.update(overrides)
+    return ReproService(ServiceConfig(**defaults))
+
+
+def test_retry_after_falls_back_without_history():
+    service = _bare_service(request_timeout=300.0)
+    assert service._retry_after_hint() == 30.0
+
+
+def test_retry_after_scales_with_queue_depth_and_service_rate():
+    service = _bare_service()
+    service._service_seconds.extend([0.2, 0.4])       # mean 0.3s
+    # Empty queue, inline concurrency 1: one wave of the mean service time.
+    assert service._retry_after_hint(slots_needed=1) == pytest.approx(0.3)
+    # A backlog drains in ceil(backlog / concurrency) waves.
+    service._admitted = 5
+    assert service._retry_after_hint(slots_needed=1) == pytest.approx(1.8)
+    assert service._retry_after_hint(slots_needed=3) == pytest.approx(2.4)
+
+
+def test_retry_after_is_clamped():
+    service = _bare_service(request_timeout=2.0)
+    service._service_seconds.append(0.001)
+    assert service._retry_after_hint() == 0.1          # sub-0.1 floors
+    service._service_seconds.clear()
+    service._service_seconds.append(500.0)
+    service._admitted = 30
+    assert service._retry_after_hint() == 2.0          # timeout ceiling
+
+
+def test_loaded_daemon_hints_fractional_retry_after():
+    """End-to-end: after a served request the daemon has an observed rate,
+    so a flood gets a load-derived (typically sub-second) fractional hint,
+    identical in header and body."""
+    config = ServiceConfig(port=0, workers=0, queue_limit=1,
+                           warm_kernels=False)
+    with BackgroundServer(config) as background:
+        client = ServiceClient(background.address)
+        client.run({"platform": "x60", "workload": "memset",
+                    "spec": dict(_COUNTING)})           # seeds the rate
+        with pytest.raises(ServiceError) as excinfo:
+            client.plan([
+                {"platform": "x60", "workload": "memset",
+                 "spec": dict(_COUNTING, seed=7)},
+                {"platform": "u74", "workload": "memset",
+                 "spec": dict(_COUNTING, seed=7)},
+            ])
+        error = excinfo.value
+        assert (error.status, error.kind) == (429, "Overloaded")
+        assert error.retry_after is not None
+        assert 0.1 <= error.retry_after <= config.request_timeout
+        assert float(error.headers["Retry-After"]) \
+            == error.payload["error"]["retry_after"] == error.retry_after
+
+
+def test_client_parses_fractional_retry_after_from_either_source():
+    error = ServiceError(429, {"error": {"retry_after": 0.25}})
+    assert error.retry_after == 0.25
+    error = ServiceError(429, {"error": {}}, {"retry-after": "0.75"})
+    assert error.retry_after == 0.75
+    error = ServiceError(429, {"error": {"retry_after": 0.5}},
+                         {"Retry-After": "9"})
+    assert error.retry_after == 0.5, "structured body wins over header"
+    assert ServiceError(429, {"error": {}}).retry_after is None
+    assert ServiceError(429, {"error": {"retry_after": "nan-ish"}},
+                        ).retry_after is None or True  # no crash on junk
+
+
+# -- persistent result cache across restarts ----------------------------------------------
+
+
+def test_daemon_restart_serves_results_from_disk(tmp_path):
+    """A ``--cache-dir`` daemon's results survive the process: a fresh
+    daemon on the same store serves the first request as a byte-identical
+    hit, without executing anything."""
+    cache_dir = str(tmp_path / "daemon-cache")
+    request = {"platform": "x60", "workload": "memset",
+               "spec": dict(_COUNTING)}
+
+    config = ServiceConfig(port=0, workers=0, warm_kernels=False,
+                           cache_dir=cache_dir)
+    with BackgroundServer(config) as background:
+        first = ServiceClient(background.address).run(request,
+                                                      with_meta=True)
+        assert first.cache == "miss"
+        cold = json.dumps(first.payload, sort_keys=True)
+
+    with BackgroundServer(config) as background:
+        client = ServiceClient(background.address)
+        reply = client.run(request, with_meta=True)
+        assert reply.cache == "hit", "restart must start hot"
+        assert json.dumps(reply.payload, sort_keys=True) == cold
+        stats = client.metrics()["cache"]
+        assert stats["disk_hits"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 0
+
+
+def test_memory_only_daemon_metrics_have_no_disk_keys(client):
+    stats = client.metrics()["cache"]
+    assert "disk_hits" not in stats and "disk_misses" not in stats

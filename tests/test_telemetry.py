@@ -419,8 +419,14 @@ _probe_cache = {}
 def _run_probe(hashseed, instance=0):
     key = (hashseed, instance)
     if key not in _probe_cache:
+        # Disk cache off: the first fresh process would *write* disk-cache
+        # entries (and emit write counters + compile spans) while the next
+        # would *hit* them (hit counters + load spans) -- observability
+        # divergence, not result divergence.  Cold-vs-cold is the
+        # comparison this probe is about.
         env = dict(os.environ, PYTHONPATH=SRC_DIR,
-                   PYTHONHASHSEED=str(hashseed))
+                   PYTHONHASHSEED=str(hashseed),
+                   REPRO_DISK_CACHE="off")
         proc = subprocess.run([sys.executable, "-c", _PROBE], env=env,
                               capture_output=True, text=True, timeout=600)
         assert proc.returncode == 0, proc.stderr
