@@ -22,15 +22,21 @@ any process is spawned.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro import faults as _faults
 from repro.api.run import Run
 from repro.api.spec import ProfileSpec
+
+#: True only in a ``run_plan`` pool worker (set by the pool initializer), so
+#: the crash fault point can never kill the coordinating parent process.
+_IN_WORKER_PROCESS = False
 
 
 @dataclass(frozen=True)
@@ -128,6 +134,15 @@ def execute_request(request: RunRequest) -> Run:
     """
     from repro import telemetry as _telemetry
     from repro.api.session import Session
+    # The crash fault may only ever kill a genuine multiprocessing child:
+    # _IN_WORKER_PROCESS alone is not enough, because warmup helpers can
+    # legitimately run in the main process (tests, inline pools) and must
+    # never leave it armed for os._exit.
+    if (_IN_WORKER_PROCESS
+            and multiprocessing.parent_process() is not None
+            and _faults.fires("executor.worker_crash")):
+        os._exit(83)
+    _faults.delay("executor.slow_worker")
     outcomes = _telemetry.REGISTRY.counter(
         "repro_executor_requests_total",
         "Executor run requests by outcome")
@@ -195,6 +210,8 @@ def _warmup_plan(requests: Sequence[RunRequest]) -> List[tuple]:
 def _warm_worker(warmups: Sequence[tuple]) -> None:
     """Pool initializer: precompile the plan's kernels into this worker's
     process-wide compile cache, so first runs don't pay cold compiles."""
+    global _IN_WORKER_PROCESS
+    _IN_WORKER_PROCESS = True
     from repro.compiler.cache import compile_source_cached, reset_stats
     from repro.platforms import platform_by_name
     for platform, source, filename, enable_vectorizer in warmups:
@@ -225,6 +242,161 @@ def _check_picklable(requests: Sequence[RunRequest]) -> None:
             ) from error
 
 
+def request_cache_key(request: RunRequest) -> Optional[str]:
+    """The canonical ``result``-kind cache key of *request* (matching sweep
+    cell and daemon keys), or None when the request cannot be expressed on
+    the wire (object platforms/workloads)."""
+    from repro.cache import keys as cache_keys
+    from repro.platforms import platform_by_name
+    try:
+        canonical = request.to_dict()
+        canonical["platform"] = platform_by_name(canonical["platform"]).name
+        return cache_keys.cache_key("run", canonical)
+    except Exception:
+        return None
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One request's failure under ``isolate_errors``: what raised, where.
+
+    ``cache_key`` is the request's canonical result key (when derivable),
+    so a failing sweep cell is identifiable in journals and trajectories.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    cache_key: Optional[str] = None
+
+
+def _failure_for(index: int, request: RunRequest,
+                 error: BaseException) -> RunFailure:
+    return RunFailure(index=index, error_type=type(error).__name__,
+                      message=str(error) or type(error).__name__,
+                      cache_key=request_cache_key(request))
+
+
+def _crash_message(index: int, total: int, request: RunRequest,
+                   abandoned: bool) -> str:
+    workload = getattr(request.workload, "name", request.workload)
+    key = request_cache_key(request)
+    detail = f"cache key {key}" if key else "cache key unavailable"
+    message = (
+        f"a worker process died executing request {index} of {total} "
+        f"(platform {_platform_key(request.platform)!r}, workload "
+        f"{workload!r}); the request was retried once on a fresh pool and "
+        f"the worker died again ({detail})")
+    if abandoned:
+        message += "; the remaining requests were abandoned"
+    return message
+
+
+#: Per-request callback: ``on_outcome(index, Run | RunFailure)``, invoked
+#: exactly once per request as its result is consumed.
+OutcomeCallback = Callable[[int, Union[Run, RunFailure]], None]
+
+
+def run_plan(requests: Sequence[RunRequest],
+             workers: Optional[int] = None,
+             isolate_errors: bool = False,
+             on_outcome: Optional[OutcomeCallback] = None,
+             ) -> List[Union[Run, RunFailure]]:
+    """Execute *requests*, returning a :class:`Run` or :class:`RunFailure`
+    per request in request order.
+
+    The scheduling contract matches :func:`run_many` (serial under
+    ``workers <= 1``, process pool above, bit-identical results either
+    way).  Two behaviors layer on top:
+
+    * A request whose worker process dies (``BrokenProcessPool``) is
+      retried exactly once on a fresh pool -- results already completed by
+      other workers are kept.  A second death surfaces as a clean
+      ``RuntimeError`` naming the request and its canonical cache key, or
+      as a :class:`RunFailure` under ``isolate_errors``.
+    * ``isolate_errors=True`` converts any per-request exception into a
+      :class:`RunFailure` instead of aborting the plan -- the sweep
+      engine's per-cell isolation.
+
+    ``on_outcome`` fires once per request as outcomes are consumed (in
+    request order within a pool generation), which is what lets a sweep
+    journal completed cells incrementally: anything journaled was fully
+    delivered, whatever happens to the process afterwards.
+    """
+    requests = list(requests)
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0 (got {workers})")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    results: List[Optional[Union[Run, RunFailure]]] = [None] * len(requests)
+
+    def deliver(index: int, outcome: Union[Run, RunFailure]) -> None:
+        results[index] = outcome
+        if on_outcome is not None:
+            on_outcome(index, outcome)
+
+    if workers <= 1 or len(requests) <= 1:
+        for index, request in enumerate(requests):
+            try:
+                run = execute_request(request)
+            except Exception as error:
+                if not isolate_errors:
+                    raise
+                deliver(index, _failure_for(index, request, error))
+            else:
+                deliver(index, run)
+        return list(results)
+
+    _check_picklable(requests)
+    retried: set = set()
+    pending = list(range(len(requests)))
+    while pending:
+        batch = pending
+        batch_requests = [requests[index] for index in batch]
+        broken: Optional[tuple] = None
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(batch)),
+                initializer=_warm_worker,
+                initargs=(_warmup_plan(batch_requests),)) as pool:
+            futures = [pool.submit(_execute_request_shipped, request)
+                       for request in batch_requests]
+            for index, future in zip(batch, futures):
+                request = requests[index]
+                try:
+                    run, shipped = future.result()
+                except BrokenProcessPool as error:
+                    # The first broken future in submission order is the
+                    # suspect; later futures may still hold completed work,
+                    # so keep consuming instead of discarding the batch.
+                    if broken is None:
+                        broken = (index, error)
+                    continue
+                except Exception as error:
+                    if not isolate_errors:
+                        raise
+                    deliver(index, _failure_for(index, request, error))
+                else:
+                    _merge_shipped(request, index, shipped)
+                    deliver(index, run)
+        if broken is None:
+            break
+        index, error = broken
+        if index in retried:
+            if not isolate_errors:
+                raise RuntimeError(_crash_message(
+                    index, len(requests), requests[index],
+                    abandoned=True)) from error
+            deliver(index, RunFailure(
+                index=index, error_type="WorkerCrash",
+                message=_crash_message(index, len(requests), requests[index],
+                                       abandoned=False),
+                cache_key=request_cache_key(requests[index])))
+        else:
+            retried.add(index)
+        pending = [i for i in pending if results[i] is None]
+    return list(results)
+
+
 def run_many(requests: Sequence[RunRequest],
              workers: Optional[int] = None) -> List[Run]:
     """Execute *requests* and return their :class:`Run` results in order.
@@ -236,36 +408,8 @@ def run_many(requests: Sequence[RunRequest],
     order, which always matches the request order -- are bit-identical to
     the serial path.  ``workers=None`` uses one worker per CPU (capped at
     the plan size).  A worker process dying mid-plan (OOM kill, hard crash
-    in a workload) raises a ``RuntimeError`` naming the first affected
-    request instead of surfacing a raw ``BrokenProcessPool`` traceback.
+    in a workload) gets exactly one retry on a fresh pool; a second death
+    raises a ``RuntimeError`` naming the victim request and its canonical
+    cache key instead of surfacing a raw ``BrokenProcessPool`` traceback.
     """
-    requests = list(requests)
-    if workers is not None and workers < 0:
-        raise ValueError(f"workers must be >= 0 (got {workers})")
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers <= 1 or len(requests) <= 1:
-        return [execute_request(request) for request in requests]
-    _check_picklable(requests)
-    workers = min(workers, len(requests))
-    with ProcessPoolExecutor(max_workers=workers,
-                             initializer=_warm_worker,
-                             initargs=(_warmup_plan(requests),)) as pool:
-        futures = [pool.submit(_execute_request_shipped, request)
-                   for request in requests]
-        results: List[Run] = []
-        for index, (request, future) in enumerate(zip(requests, futures)):
-            try:
-                run, shipped = future.result()
-                _merge_shipped(request, index, shipped)
-                results.append(run)
-            except BrokenProcessPool as error:
-                workload = getattr(request.workload, "name", request.workload)
-                raise RuntimeError(
-                    f"a worker process died executing request {index} of "
-                    f"{len(requests)} (platform "
-                    f"{_platform_key(request.platform)!r}, workload "
-                    f"{workload!r}); the pool is broken and the remaining "
-                    "requests were abandoned"
-                ) from error
-        return results
+    return run_plan(requests, workers=workers)  # type: ignore[return-value]

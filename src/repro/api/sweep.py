@@ -30,11 +30,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.api.executor import RunRequest, run_many
+from repro.api.executor import RunFailure, RunRequest, run_plan
+from repro.api.journal import SweepJournal
 from repro.api.spec import ProfileSpec
 from repro.cache import keys as cache_keys
 from repro.cache.keys import RESULT_KIND
-from repro.cache.store import default_store
+from repro.cache.store import atomic_write_bytes, default_store
 
 #: Sentinel: "use the process default store" (None means "no store").
 _DEFAULT_STORE = object()
@@ -97,12 +98,29 @@ class SweepCell:
 
 @dataclass
 class CellOutcome:
-    """How one cell was served: from cache, executed, or deduplicated."""
+    """How one cell was served: cache, execution, dedup, resume -- or not.
+
+    ``status`` is one of ``hit`` (served from the store), ``executed``,
+    ``deduplicated`` (identical canonical form as an earlier cell),
+    ``resumed`` (journaled complete by an interrupted sweep and served from
+    the store without re-executing) or ``error`` (its execution raised; the
+    sweep continued -- per-cell failure isolation).
+    """
 
     cell: SweepCell
-    status: str  # 'hit' | 'executed' | 'deduplicated'
-    #: The daemon-shaped response payload ({"run": ..., "renderings": ...}).
+    status: str  # 'hit' | 'executed' | 'deduplicated' | 'resumed' | 'error'
+    #: The daemon-shaped response payload ({"run": ..., "renderings": ...}),
+    #: or ``{"error": {...}}`` for failed cells.
     payload: dict
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "error"
+
+    @property
+    def failure(self) -> Dict[str, str]:
+        """The structured error of a failed cell (type, message, cache_key)."""
+        return dict(self.payload.get("error", {}))
 
     @property
     def run(self) -> dict:
@@ -110,6 +128,8 @@ class CellOutcome:
 
     @property
     def errors(self) -> Dict[str, str]:
+        if "run" not in self.payload:
+            return {}
         return dict(self.run.get("errors", {}))
 
     def body(self) -> bytes:
@@ -129,7 +149,8 @@ class SweepResult:
         return len(self.outcomes)
 
     def counts(self) -> Dict[str, int]:
-        counts = {"hit": 0, "executed": 0, "deduplicated": 0}
+        counts = {"hit": 0, "executed": 0, "deduplicated": 0,
+                  "resumed": 0, "error": 0}
         for outcome in self.outcomes:
             counts[outcome.status] = counts.get(outcome.status, 0) + 1
         return counts
@@ -139,12 +160,21 @@ class SweepResult:
         """Whether no cell had to execute (an incremental re-run hit fully)."""
         return self.counts()["executed"] == 0
 
+    @property
+    def failed_cells(self) -> List[CellOutcome]:
+        """Cells whose execution raised (status ``error``), in plan order."""
+        return [outcome for outcome in self.outcomes if outcome.failed]
+
     def summary(self) -> str:
         counts = self.counts()
         errors = sum(1 for outcome in self.outcomes if outcome.errors)
         line = (f"cells: {len(self.outcomes)}  hits: {counts['hit']}  "
                 f"executed: {counts['executed']}  "
                 f"deduplicated: {counts['deduplicated']}")
+        if counts["resumed"]:
+            line += f"  resumed: {counts['resumed']}"
+        if counts["error"]:
+            line += f"  failed: {counts['error']}"
         if errors:
             line += f"  with-errors: {errors}"
         return line
@@ -165,6 +195,8 @@ class SweepResult:
             }
             if outcome.errors:
                 entry["errors"] = sorted(outcome.errors)
+            if outcome.failed:
+                entry["error"] = outcome.failure
             cells.append(entry)
         doc: dict = {
             "schema": TRAJECTORY_SCHEMA,
@@ -173,6 +205,8 @@ class SweepResult:
                 "hits": counts["hit"],
                 "executed": counts["executed"],
                 "deduplicated": counts["deduplicated"],
+                "resumed": counts["resumed"],
+                "failed": counts["error"],
                 "with_errors": sum(1 for outcome in self.outcomes
                                    if outcome.errors),
             },
@@ -186,10 +220,11 @@ class SweepResult:
 
     def write_trajectory(self, path: str,
                          elapsed_seconds: Optional[float] = None) -> dict:
+        """Write the trajectory document atomically (tempfile + replace):
+        a reader -- or a crash mid-write -- never sees a torn document."""
         doc = self.to_trajectory(elapsed_seconds)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(doc, handle, indent=2)
-            handle.write("\n")
+        text = json.dumps(doc, indent=2) + "\n"
+        atomic_write_bytes(path, text.encode("utf-8"))
         return doc
 
 
@@ -211,18 +246,33 @@ def canonical_cell(request: RunRequest) -> dict:
 def sweep(requests: Sequence[RunRequest],
           workers: Optional[int] = None,
           store=_DEFAULT_STORE,
-          bypass_cache: bool = False) -> SweepResult:
+          bypass_cache: bool = False,
+          resume: bool = False,
+          isolate_errors: bool = True) -> SweepResult:
     """Execute a plan incrementally: serve cache-hit cells from the disk
-    store, execute the rest via :func:`run_many`, fill the store back.
+    store, execute the rest via :func:`~repro.api.executor.run_plan`, fill
+    the store back.
 
     ``store`` defaults to the process store (:func:`default_store`; pass
     None to run fully uncached).  ``bypass_cache`` skips lookups but still
     fills, like the daemon's no-cache header.  Results come back in plan
     order regardless of scheduling; duplicate cells (identical canonical
     form) execute once and report ``deduplicated``.
+
+    Robustness: a cell whose execution raises becomes an ``error`` outcome
+    and the sweep *continues* (``isolate_errors=False`` restores
+    fail-fast).  With a store, every completed cell is journaled (under
+    ``<store root>/sweeps/``, atomically) as the sweep progresses;
+    ``resume=True`` serves journaled-complete cells of an identical
+    interrupted plan from the store as ``resumed`` without re-executing --
+    journaled ``error`` cells are retried.  A sweep that finishes with no
+    error cells removes its journal.
     """
     if store is _DEFAULT_STORE:
         store = default_store()
+    if resume and store is None:
+        raise ValueError("--resume needs a disk store (the journal lives "
+                         "under the cache directory)")
     cells = []
     for index, request in enumerate(requests):
         canonical = canonical_cell(request)
@@ -233,16 +283,32 @@ def sweep(requests: Sequence[RunRequest],
     for cell in cells:
         primary.setdefault(cell.key, cell)
 
+    journal = (SweepJournal.for_plan(store.root, [cell.key for cell in cells])
+               if store is not None else None)
+
     payloads: Dict[str, dict] = {}
     statuses: Dict[str, str] = {}
     misses: List[SweepCell] = []
     for key, cell in primary.items():
+        # Resume first: a journaled-complete cell is served even under
+        # bypass_cache -- resuming exists precisely to not redo that work.
+        if resume and journal is not None and journal.complete(key):
+            body = store.get(RESULT_KIND, key)
+            if body is not None:
+                try:
+                    payloads[key] = json.loads(body.decode("utf-8"))
+                    statuses[key] = "resumed"
+                    continue
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    pass  # journaled but unreadable: fall through, re-run
         body = (store.get(RESULT_KIND, key)
                 if store is not None and not bypass_cache else None)
         if body is not None:
             try:
                 payloads[key] = json.loads(body.decode("utf-8"))
                 statuses[key] = "hit"
+                if journal is not None:
+                    journal.record(key, "hit")
                 continue
             except (UnicodeDecodeError, json.JSONDecodeError):
                 # Integrity-checked bytes that are not JSON mean the entry
@@ -256,21 +322,41 @@ def sweep(requests: Sequence[RunRequest],
     # whole stretches of the plan instead of interleaving configurations.
     ordered = sorted(misses, key=lambda cell: (
         cell.platform, cell.workload, cell.cpus, cell.index))
-    runs = run_many([cell.request for cell in ordered], workers=workers)
-    for cell, run in zip(ordered, runs):
-        payload = {"run": run.deterministic_dict(),
-                   "renderings": run.renderings()}
+
+    def deliver(position: int, outcome) -> None:
+        """Store + journal one executed cell the moment it completes, so a
+        sweep killed mid-plan has durably recorded everything it finished."""
+        cell = ordered[position]
+        if isinstance(outcome, RunFailure):
+            error = {"type": outcome.error_type, "message": outcome.message,
+                     "cache_key": outcome.cache_key or cell.key}
+            payloads[cell.key] = {"error": error}
+            statuses[cell.key] = "error"
+            if journal is not None:
+                journal.record(cell.key, "error", error=error)
+            return
+        payload = {"run": outcome.deterministic_dict(),
+                   "renderings": outcome.renderings()}
         payloads[cell.key] = payload
         statuses[cell.key] = "executed"
         if store is not None:
             store.put(RESULT_KIND, cell.key, cache_keys.encode_body(payload))
+        if journal is not None:
+            journal.record(cell.key, "executed")
+
+    run_plan([cell.request for cell in ordered], workers=workers,
+             isolate_errors=isolate_errors, on_outcome=deliver)
 
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     for cell in cells:
-        status = (statuses[cell.key] if primary[cell.key] is cell
-                  else "deduplicated")
+        status = statuses[cell.key]
+        if primary[cell.key] is not cell and status != "error":
+            status = "deduplicated"
         outcomes[cell.index] = CellOutcome(cell=cell, status=status,
                                            payload=payloads[cell.key])
+    if journal is not None and not any(
+            outcome.failed for outcome in outcomes):
+        journal.remove()
     return SweepResult(outcomes=list(outcomes),
                        cache_stats=store.stats() if store is not None
                        else None,

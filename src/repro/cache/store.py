@@ -42,6 +42,7 @@ import struct
 import tempfile
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro import faults as _faults
 from repro import telemetry as _telemetry
 
 #: Bump to invalidate every existing entry (the version names the root dir).
@@ -52,6 +53,26 @@ _HEADER_LEN = struct.Struct(">I")
 
 #: Values of ``REPRO_DISK_CACHE`` that turn disk persistence off.
 _OFF_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file and
+    ``os.replace``, so readers never observe a partial write.  Raises
+    ``OSError`` on failure (callers decide whether that is fatal)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _count(outcome: str, kind: str) -> None:
@@ -148,6 +169,9 @@ class DiskCache:
             self.misses += 1
             _count("miss", kind)
             return None
+        # Chaos hook: a read-side bit flip lands *inside* the envelope, so
+        # the integrity check below turns it into a miss, never wrong bytes.
+        blob = _faults.corrupt("store.read_corrupt", blob)
         payload = self._decode(kind, key, blob)
         if payload is None:
             self.integrity_failures += 1
@@ -166,20 +190,13 @@ class DiskCache:
         a full or read-only disk degrades to a cold cache, never an error)."""
         path = self.entry_path(kind, key)
         blob = self._encode(kind, key, payload)
-        tmp_path = None
+        # Chaos hooks mutate the *encoded* blob: the damage sits under the
+        # envelope hash, so the next read detects it and recomputes.
+        blob = _faults.corrupt("store.write_corrupt", blob)
+        blob = _faults.truncate("store.partial_write", blob)
         try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(
-                prefix=key + ".", suffix=".tmp", dir=os.path.dirname(path))
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp_path, path)
+            atomic_write_bytes(path, blob)
         except OSError:
-            if tmp_path is not None:
-                try:
-                    os.remove(tmp_path)
-                except OSError:
-                    pass
             return False
         self.writes += 1
         _count("write", kind)

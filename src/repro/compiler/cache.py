@@ -41,6 +41,7 @@ from __future__ import annotations
 import pickle
 from typing import Dict
 
+from repro import faults as _faults
 from repro.analysis.blockdelta import certify_module_cached, is_certified
 from repro.cache import keys as cache_keys
 from repro.cache.store import default_store
@@ -141,6 +142,9 @@ def compile_source_cached(source: str, filename: str,
                     if verify_each:
                         verify_module(module)
         if module is None:
+            # Chaos hook: fires only on a true compile (memo and disk both
+            # missed), so a cached module never turns into a failure.
+            _faults.fail("compiler.compile_fail")
             with _span("compile_kernel", cat="compiler", filename=filename,
                        march=descriptor.march):
                 module = compile_source(source, filename)

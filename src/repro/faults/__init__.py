@@ -1,0 +1,45 @@
+"""Deterministic, seeded fault injection for chaos testing the stack.
+
+Configure with the ``REPRO_FAULTS`` environment variable (see
+:mod:`repro.faults.plan` for the grammar), or programmatically with
+:func:`install`.  Call sites stay cheap: with no plan configured every
+helper is a constant-time no-op.
+
+The contract the chaos suite enforces: injected faults may cost latency
+or availability (a retry, a 503, a re-execution), but never correctness
+-- any payload that is actually served must be byte-identical to the
+fault-free run.  Corruption points therefore mutate bytes *inside* the
+disk-store envelope, where the integrity check turns them into cache
+misses, and crash points kill workers whose requests are idempotent by
+content-addressing.
+"""
+
+from repro.faults.inject import (
+    FaultInjector,
+    InjectedFault,
+    active,
+    corrupt,
+    delay,
+    fail,
+    fires,
+    install,
+    reset,
+    truncate,
+)
+from repro.faults.plan import FAULT_POINTS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active",
+    "corrupt",
+    "delay",
+    "fail",
+    "fires",
+    "install",
+    "reset",
+    "truncate",
+]

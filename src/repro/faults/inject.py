@@ -1,0 +1,189 @@
+"""The fault-injection runtime: deterministic decisions, counted in telemetry.
+
+The active :class:`~repro.faults.plan.FaultPlan` comes from the
+``REPRO_FAULTS`` environment variable, parsed lazily on first use and
+cached per process -- pool workers inherit the variable (and, under fork,
+the parsed state) so a single spec drives the whole tree.  Tests install a
+plan directly with :func:`install` and drop back to the environment with
+:func:`reset`.
+
+Determinism is the whole point.  Each fault point owns a
+``random.Random(seed)`` stream and an evaluation counter; the decision
+sequence for a point depends only on its clause, never on wall clock,
+PIDs, or interleaving with other points.  Running the same workload under
+the same spec injects the same faults at the same sites, which is what
+lets the chaos suite diff a faulty run against a fault-free golden
+byte-for-byte.
+
+Every injection increments ``repro_faults_injected_total{point}`` in the
+process-wide telemetry registry; worker-side injections ride back to the
+daemon with the rest of the shipped telemetry deltas.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Dict, Optional, Union
+
+from repro import telemetry as _telemetry
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+class InjectedFault(RuntimeError):
+    """Raised by fail-type fault points (e.g. ``compiler.compile_fail``)."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at {point}")
+        self.point = point
+
+
+def _count(point: str) -> None:
+    _telemetry.REGISTRY.counter(
+        "repro_faults_injected_total",
+        "Faults injected by repro.faults, labelled by fault point.",
+    ).inc(point=point)
+
+
+class _PointState:
+    """Mutable per-point decision state: seeded stream plus counters."""
+
+    __slots__ = ("spec", "rng", "evaluations", "injections")
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.evaluations = 0
+        self.injections = 0
+
+    def fire(self) -> bool:
+        spec = self.spec
+        if spec.times is not None and self.injections >= spec.times:
+            return False
+        self.evaluations += 1
+        if spec.rate is not None:
+            hit = self.rng.random() < spec.rate
+        elif spec.every is not None:
+            hit = self.evaluations % spec.every == 0
+        else:
+            hit = True
+        if hit:
+            self.injections += 1
+        return hit
+
+
+class FaultInjector:
+    """Evaluates fault points against a plan and mutates bytes on demand."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._points: Dict[str, _PointState] = {
+            spec.point: _PointState(spec) for spec in plan.specs}
+
+    def fire(self, point: str) -> bool:
+        state = self._points.get(point)
+        if state is None or not state.fire():
+            return False
+        _count(point)
+        return True
+
+    def spec_for(self, point: str) -> Optional[FaultSpec]:
+        state = self._points.get(point)
+        return None if state is None else state.spec
+
+    def corrupt_bytes(self, point: str, data: bytes) -> bytes:
+        """Flip one deterministically-chosen bit of ``data``."""
+        if not data:
+            return data
+        state = self._points[point]
+        position = state.rng.randrange(len(data) * 8)
+        mutated = bytearray(data)
+        mutated[position // 8] ^= 1 << (position % 8)
+        return bytes(mutated)
+
+    def truncate_bytes(self, point: str, data: bytes) -> bytes:
+        """Cut ``data`` at a deterministically-chosen earlier offset."""
+        if len(data) < 2:
+            return b""
+        state = self._points[point]
+        return data[:state.rng.randrange(1, len(data))]
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {point: {"evaluations": state.evaluations,
+                        "injections": state.injections}
+                for point, state in sorted(self._points.items())}
+
+
+_ENV_VAR = "REPRO_FAULTS"
+_UNSET = object()
+_INJECTOR: Union[object, Optional[FaultInjector]] = _UNSET
+
+
+def active() -> Optional[FaultInjector]:
+    """The process-wide injector, or ``None`` when no plan is configured.
+
+    A malformed ``REPRO_FAULTS`` raises ``ValueError`` here, at the first
+    fault-point evaluation -- loudly, rather than running with no faults.
+    """
+    global _INJECTOR
+    if _INJECTOR is _UNSET:
+        text = os.environ.get(_ENV_VAR, "").strip()
+        plan = FaultPlan.parse(text) if text else None
+        _INJECTOR = FaultInjector(plan) if plan else None
+    return _INJECTOR  # type: ignore[return-value]
+
+
+def install(plan: Union[FaultPlan, str, None]) -> Optional[FaultInjector]:
+    """Force a plan for this process (tests); ``None`` disables injection."""
+    global _INJECTOR
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    _INJECTOR = FaultInjector(plan) if plan else None
+    return _INJECTOR  # type: ignore[return-value]
+
+
+def reset() -> None:
+    """Drop the cached injector; the next evaluation re-reads the env."""
+    global _INJECTOR
+    _INJECTOR = _UNSET
+
+
+def fires(point: str) -> bool:
+    """True when ``point`` should inject right now.  Counts the injection."""
+    injector = active()
+    return injector is not None and injector.fire(point)
+
+
+def corrupt(point: str, data: bytes) -> bytes:
+    """Return ``data`` with one bit flipped when ``point`` fires."""
+    injector = active()
+    if injector is None or not injector.fire(point):
+        return data
+    return injector.corrupt_bytes(point, data)
+
+
+def truncate(point: str, data: bytes) -> bytes:
+    """Return a truncated prefix of ``data`` when ``point`` fires."""
+    injector = active()
+    if injector is None or not injector.fire(point):
+        return data
+    return injector.truncate_bytes(point, data)
+
+
+def delay(point: str) -> float:
+    """Sleep the clause's ``ms`` when ``point`` fires; returns the delay."""
+    injector = active()
+    if injector is None or not injector.fire(point):
+        return 0.0
+    spec = injector.spec_for(point)
+    seconds = (spec.ms if spec is not None else 25.0) / 1000.0
+    if seconds > 0:
+        time.sleep(seconds)
+    return seconds
+
+
+def fail(point: str) -> None:
+    """Raise :class:`InjectedFault` when ``point`` fires."""
+    if fires(point):
+        raise InjectedFault(point)

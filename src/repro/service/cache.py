@@ -88,6 +88,22 @@ class ResultCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def flush(self) -> int:
+        """Write every memory entry through to the disk store (drain path).
+
+        Fills already write through, so this is a safety net for entries
+        whose disk write failed transiently (full disk, injected fault):
+        the drain gives each one a second chance to persist.  Returns how
+        many entries were written; a store-less cache flushes nothing.
+        """
+        if self.store is None:
+            return 0
+        written = 0
+        for key, body in list(self._entries.items()):
+            if self.store.put(RESULT_KIND, key, body):
+                written += 1
+        return written
+
     def note_bypass(self) -> None:
         """Record a request that skipped the lookup on client request."""
         self.bypasses += 1

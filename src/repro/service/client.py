@@ -10,15 +10,24 @@ The responses' serving metadata travels in headers (``X-Repro-Cache``,
 ``X-Repro-Elapsed-Ms``); :meth:`ServiceClient.run` exposes it via the
 ``Response``-style tuple-free :class:`ServiceReply` wrapper only when asked
 (``with_meta=True``) so the common path stays a plain dict.
+
+Retries are opt-in: construct the client with a :class:`RetryPolicy` and
+transient failures (429/5xx, an unreachable or dropped connection) are
+retried with deterministic exponential backoff, honoring the daemon's
+Retry-After hints.  Retrying is safe unconditionally here because every
+request is idempotent by content-addressing -- re-POSTing a ``/run`` either
+hits the cache or recomputes the identical bytes.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, Sequence
 
 
 class ServiceError(RuntimeError):
@@ -50,6 +59,46 @@ class ServiceError(RuntimeError):
             self.retry_after = None
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry budgets for transient service failures.
+
+    ``attempts`` is the *total* number of tries (1 = no retry).  The delay
+    before retry ``n`` (0-based) is ``base_delay * multiplier**n`` capped at
+    ``max_delay`` -- or the server's Retry-After hint when it gives one,
+    capped the same way.  ``deadline`` bounds the *cumulative planned
+    backoff* (not wall clock, so a policy's behavior is a pure function of
+    the error sequence): when the next delay would push the total past it,
+    the error surfaces instead.
+
+    Retryable failures: ``status`` in ``statuses`` (throttling and server
+    errors), plus ``status == 0`` (unreachable / dropped connection) when
+    ``retry_unreachable`` is set.  Client errors (4xx) never retry -- the
+    request itself is wrong.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    deadline: Optional[float] = 60.0
+    statuses: FrozenSet[int] = field(
+        default_factory=lambda: frozenset({429, 500, 502, 503, 504}))
+    retry_unreachable: bool = True
+
+    def retryable(self, error: "ServiceError") -> bool:
+        if error.status == 0:
+            return self.retry_unreachable
+        return error.status in self.statuses
+
+    def delay(self, retry_index: int,
+              retry_after: Optional[float] = None) -> float:
+        planned = self.base_delay * (self.multiplier ** retry_index)
+        if retry_after is not None and retry_after > planned:
+            planned = retry_after
+        return min(planned, self.max_delay)
+
+
 @dataclass
 class ServiceReply:
     """A parsed response plus its serving metadata headers."""
@@ -72,15 +121,48 @@ class ServiceClient:
     >>> result["run"]["stat"]["counts"]  # doctest: +SKIP
     """
 
-    def __init__(self, base_url: str, timeout: float = 600.0):
+    def __init__(self, base_url: str, timeout: float = 600.0,
+                 retry: Optional[RetryPolicy] = None,
+                 sleep: Callable[[float], None] = time.sleep):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self._sleep = sleep
 
     # -- transport ----------------------------------------------------------------------
 
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None,
                  headers: Optional[Dict[str, str]] = None) -> ServiceReply:
+        policy = self.retry
+        if policy is None:
+            return self._request_once(method, path, body, headers)
+        slept = 0.0
+        retry_index = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, headers)
+            except ServiceError as error:
+                if (not policy.retryable(error)
+                        or retry_index + 1 >= policy.attempts):
+                    raise
+                delay = policy.delay(retry_index, error.retry_after)
+                if (policy.deadline is not None
+                        and slept + delay > policy.deadline):
+                    raise
+                from repro import telemetry as _telemetry
+                _telemetry.REGISTRY.counter(
+                    "repro_client_retries_total",
+                    "ServiceClient retries by failure status").inc(
+                        status=str(error.status))
+                self._sleep(delay)
+                slept += delay
+                retry_index += 1
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[dict] = None,
+                      headers: Optional[Dict[str, str]] = None
+                      ) -> ServiceReply:
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
         request = urllib.request.Request(
@@ -108,6 +190,16 @@ class ServiceClient:
                 "type": "Unreachable",
                 "message": f"could not reach {self.base_url}: "
                            f"{error.reason}"}}) from None
+        except (http.client.HTTPException, ConnectionError) as error:
+            # urllib only wraps send-side OSErrors in URLError; a server
+            # that drops the connection mid-response surfaces raw
+            # (RemoteDisconnected, ConnectionResetError).  Same structured
+            # shape so RetryPolicy treats a dropped response like an
+            # unreachable daemon.
+            raise ServiceError(0, {"error": {
+                "type": "Unreachable",
+                "message": f"connection to {self.base_url} dropped: "
+                           f"{error!r}"}}) from None
         if raw and reply_headers.get("Content-Type",
                                      "").startswith("application/json"):
             payload = json.loads(raw.decode("utf-8"))

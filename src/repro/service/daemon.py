@@ -53,11 +53,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro import faults as _faults
 from repro import telemetry as _telemetry
 from repro.api.executor import RunRequest
 from repro.service import pool as pool_module
@@ -65,6 +67,12 @@ from repro.service import wire
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import WarmPool, WorkerCrash
+from repro.service.resilience import (
+    PROBE,
+    REFUSE_OPEN,
+    REFUSE_QUARANTINED,
+    CircuitBreaker,
+)
 
 
 def _now() -> float:
@@ -119,6 +127,22 @@ class ServiceConfig:
     #: daemon (and ``repro sweep`` against the same store) serves them as
     #: hits without re-executing.  None keeps the cache memory-only.
     cache_dir: Optional[str] = None
+    #: Graceful-drain budget in seconds: on SIGTERM/SIGINT/:meth:`close`
+    #: the daemon stops accepting and lets in-flight requests finish; past
+    #: this deadline they get a clean 503 instead of a hung connection.
+    drain_timeout: float = 10.0
+    #: Crash-loop breaker: this many worker crashes within
+    #: ``breaker_window`` seconds open it (degraded cache-only mode).
+    breaker_threshold: int = 3
+    breaker_window: float = 30.0
+    #: Seconds an open breaker waits before half-open probing.
+    breaker_cooldown: float = 5.0
+    #: Crashes of one cache key before that key is quarantined outright.
+    quarantine_after: int = 2
+
+
+class _DrainAborted(Exception):
+    """An in-flight request outlived the drain deadline (internal)."""
 
 
 class _Reject(Exception):
@@ -171,6 +195,23 @@ class ReproService:
         self._service_seconds: "deque[float]" = deque(maxlen=32)
         self._pending: Dict[str, asyncio.Future] = {}
         self._server: Optional[asyncio.AbstractServer] = None
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            window=config.breaker_window,
+            cooldown=config.breaker_cooldown,
+            quarantine_after=config.quarantine_after,
+            clock=_now)
+        self._draining = False
+        self._closed = False
+        #: Set while no requests are admitted; the drain waits on it.
+        self._idle = asyncio.Event()
+        self._idle.set()
+        #: Set once the drain deadline passes: in-flight awaits abort to 503.
+        self._drain_abort = asyncio.Event()
+        #: Open connection handlers (the drain waits for responses to flush).
+        self._open_connections = 0
+        self._no_connections = asyncio.Event()
+        self._no_connections.set()
 
     # -- lifecycle ----------------------------------------------------------------------
 
@@ -195,10 +236,43 @@ class ReproService:
         async with self._server:
             await self._server.serve_forever()
 
-    async def close(self) -> None:
+    async def drain(self, timeout: Optional[float] = None) -> dict:
+        """Graceful drain: stop accepting, finish (or 503) in-flight work,
+        flush the write-through cache.
+
+        In-flight requests get the full ``drain_timeout`` (or *timeout*) to
+        complete and write their responses; past the deadline each one is
+        answered with a clean 503 ``ShuttingDown`` -- never a hung
+        connection or a truncated body.  Returns a small summary dict.
+        """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        aborted = False
+        if self._admitted:
+            try:
+                await asyncio.wait_for(self._idle.wait(), max(0.0, budget))
+            except asyncio.TimeoutError:
+                aborted = True
+                self._drain_abort.set()
+        # Whether requests completed or were aborted, wait (bounded) for
+        # their connection handlers to write and close -- that is what makes
+        # "completes or gets a clean 503" true, not just likely.
+        try:
+            await asyncio.wait_for(self._no_connections.wait(), 5.0)
+        except asyncio.TimeoutError:
+            pass
+        flushed = self.cache.flush()
+        return {"aborted_in_flight": aborted, "cache_flushed": flushed}
+
+    async def close(self, drain_timeout: Optional[float] = None) -> None:
+        """Drain gracefully, then shut the worker pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain(drain_timeout)
         self.pool.shutdown()
 
     # -- HTTP plumbing ------------------------------------------------------------------
@@ -264,6 +338,17 @@ class ReproService:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        self._open_connections += 1
+        self._no_connections.clear()
+        try:
+            await self._handle_connection_body(reader, writer)
+        finally:
+            self._open_connections -= 1
+            if self._open_connections == 0:
+                self._no_connections.set()
+
+    async def _handle_connection_body(self, reader: asyncio.StreamReader,
+                                      writer: asyncio.StreamWriter) -> None:
         status, body = 500, wire.encode_body(
             wire.error_payload("Internal", "unhandled service error"))
         content_type, extra = "application/json", {}
@@ -304,6 +389,17 @@ class ReproService:
         extra = dict(extra)
         extra.setdefault("X-Repro-Elapsed-Ms", f"{elapsed * 1000:.3f}")
         extra.setdefault("X-Repro-Trace-Id", trace_id)
+        # Injected transport faults: both cost the client a retry, never
+        # wrong bytes -- a dropped connection surfaces as Unreachable, a
+        # stalled response merely delays the identical payload.
+        injector = _faults.active()
+        if injector is not None:
+            if injector.fire("daemon.conn_drop"):
+                writer.close()
+                return
+            if injector.fire("daemon.stall_response"):
+                spec = injector.spec_for("daemon.stall_response")
+                await asyncio.sleep(spec.ms / 1000.0)
         try:
             self._write_response(writer, status, body, content_type, extra)
             await writer.drain()
@@ -350,12 +446,19 @@ class ReproService:
         }
 
     def _healthz(self) -> dict:
+        if self._draining:
+            status = "draining"
+        elif self.breaker.state() != "closed":
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "ok",
+            "status": status,
             "workers": self.config.workers,
             "worker_restarts": self.pool.restarts,
             "admitted": self._admitted,
             "queue_limit": self.config.queue_limit,
+            "breaker": self.breaker.to_dict(),
         }
 
     def _sync_registry_gauges(self) -> None:
@@ -379,6 +482,12 @@ class ReproService:
                                      "Result-cache state by stat")
         for name, value in self.cache.stats().items():
             cache_gauge.set(value, state=name)
+        breaker_gauge = registry.gauge("repro_service_breaker",
+                                       "Crash-loop breaker state")
+        breaker_gauge.set(0 if self.breaker.state() == "closed" else 1,
+                          state="open")
+        breaker_gauge.set(len(self.breaker.quarantined), state="quarantined")
+        breaker_gauge.set(self.breaker.opens, state="opens")
 
     def _metrics_response(self, request: _HttpRequest):
         wants_prometheus = (
@@ -476,6 +585,12 @@ class ReproService:
                    max(0.1, round(waves * mean, 3)))
 
     def _check_admission(self, slots_needed: int = 1) -> None:
+        if self._draining:
+            raise _Reject(503, wire.error_payload(
+                "ShuttingDown",
+                "the service is draining and no longer accepts work",
+                retry_after=self.config.drain_timeout),
+                headers={"Retry-After": f"{self.config.drain_timeout:g}"})
         if self._admitted + slots_needed > self.config.queue_limit:
             retry_after = self._retry_after_hint(slots_needed)
             raise _Reject(
@@ -489,18 +604,51 @@ class ReproService:
                 # body: ServiceClient reads either source identically.
                 headers={"Retry-After": f"{retry_after:g}"})
 
+    async def _pool_result(self, future, loop):
+        """Await a pool future, racing the drain-abort signal.
+
+        Past the drain deadline the drain sets ``_drain_abort``; every
+        in-flight await loses the race and surfaces :class:`_DrainAborted`
+        so its request is answered with a clean 503 instead of hanging
+        until the worker (which may be mid-simulation) finishes.
+        """
+        wrapped = asyncio.ensure_future(
+            asyncio.wrap_future(future, loop=loop))
+        abort = asyncio.ensure_future(self._drain_abort.wait())
+        try:
+            done, _pending = await asyncio.wait(
+                {wrapped, abort}, timeout=self.config.request_timeout,
+                return_when=asyncio.FIRST_COMPLETED)
+        except asyncio.CancelledError:
+            wrapped.cancel()
+            raise
+        finally:
+            abort.cancel()
+        if wrapped in done:
+            return wrapped.result()
+        wrapped.cancel()
+        if abort.done():
+            raise _DrainAborted()
+        raise asyncio.TimeoutError()
+
     async def _execute_job(self, endpoint: str,
                            fn: Callable[[dict], dict],
-                           payload: dict) -> dict:
+                           payload: dict, key: Optional[str] = None,
+                           probe: bool = False) -> dict:
         """Run one admitted job on the pool under slot + timeout control.
 
         The admission slot and the concurrency slot are both released when
         the worker *finishes* (future done callback), not when the await
         ends -- a timed-out request keeps occupying capacity until its
         worker is actually free, so admission control never oversubscribes.
+
+        ``key`` (the cache key, when there is one) and ``probe`` feed the
+        crash-loop breaker: clean completions and worker crashes are
+        reported so it can open, quarantine and close.
         """
         loop = asyncio.get_running_loop()
         self._admitted += 1
+        self._idle.clear()
         _telemetry.REGISTRY.counter(
             "repro_service_admitted_total",
             "Requests admitted past admission control").inc(endpoint=endpoint)
@@ -525,14 +673,26 @@ class ReproService:
         self.metrics.count_execution(endpoint)
         submitted = _now()
         try:
-            result = await asyncio.wait_for(
-                asyncio.wrap_future(future, loop=loop),
-                self.config.request_timeout)
+            result = await self._pool_result(future, loop)
             # Completed executions feed the observed service rate that
             # sizes Retry-After hints under load.
             self._service_seconds.append(_now() - submitted)
+            if key is not None:
+                self.breaker.record_success(key, probe=probe)
             return result
+        except _DrainAborted:
+            if probe:
+                self.breaker.abort_probe()
+            raise _Reject(503, wire.error_payload(
+                "ShuttingDown",
+                "the service shut down before this request finished; "
+                "retry against a live instance",
+                retry_after=self.config.drain_timeout),
+                headers={"Retry-After":
+                         f"{self.config.drain_timeout:g}"}) from None
         except asyncio.TimeoutError:
+            if probe:
+                self.breaker.abort_probe()
             self.metrics.timeouts += 1
             raise _Reject(504, wire.error_payload(
                 "Timeout",
@@ -543,14 +703,20 @@ class ReproService:
                 note = "the worker pool was respawned"
             else:
                 note = "the worker pool had already been respawned"
+            if key is not None:
+                self.breaker.record_crash(key, probe=probe)
             raise _Reject(500, wire.error_payload(
                 "WorkerCrashed",
                 f"a worker process died executing this request; {note}; "
                 "retry the request")) from None
         except (KeyError, ValueError) as error:
+            if probe:
+                self.breaker.abort_probe()
             raise _Reject(400, wire.error_payload(
                 "BadRequest", str(error))) from None
         except Exception as error:
+            if probe:
+                self.breaker.abort_probe()
             raise _Reject(500, wire.error_payload(
                 type(error).__name__, str(error))) from None
 
@@ -575,6 +741,8 @@ class ReproService:
         self._admitted = max(0, self._admitted - 1)
         self._in_flight = max(0, self._in_flight - 1)
         self._slots.release()
+        if self._admitted == 0:
+            self._idle.set()
 
     async def _execute_cached(self, endpoint: str, kind: str,
                               fn: Callable[[dict], dict], canonical: dict,
@@ -592,11 +760,27 @@ class ReproService:
                 self.metrics.coalesced += 1
                 body = await asyncio.shield(pending)
                 return body, "coalesced"
+        # Cache hits are served above even while degraded; only an actual
+        # execution consults the crash-loop breaker.
+        verdict, hint = self.breaker.admit(key)
+        if verdict == REFUSE_QUARANTINED:
+            raise _Reject(503, wire.error_payload(
+                "Quarantined",
+                "this request crashed worker processes repeatedly and is "
+                "quarantined; it will not be retried by this instance"))
+        if verdict == REFUSE_OPEN:
+            raise _Reject(503, wire.error_payload(
+                "Degraded",
+                "the service is in degraded cache-only mode after repeated "
+                "worker crashes; cache hits are still served, retry later",
+                retry_after=hint),
+                headers={"Retry-After": f"{hint:g}"})
         waiter: asyncio.Future = asyncio.get_running_loop().create_future()
         if not bypass:
             self._pending[key] = waiter
         try:
-            result = await self._execute_job(endpoint, fn, canonical)
+            result = await self._execute_job(endpoint, fn, canonical,
+                                             key=key, probe=verdict == PROBE)
             self._merge_worker_telemetry(endpoint, result.get("telemetry"))
             body = wire.encode_body(result["payload"])
             self.cache.put(key, body)
@@ -725,9 +909,25 @@ async def _serve(config: ServiceConfig,
     await service.start()
     if ready is not None:
         ready(service)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue  # non-main thread or unsupported platform
+        installed.append(signum)
     try:
-        await service.serve_forever()
+        if installed:
+            # The server is already accepting (start() above); sleep until
+            # a signal asks for the graceful drain.
+            await stop.wait()
+        else:
+            await service.serve_forever()
     finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
         await service.close()
 
 
@@ -764,17 +964,36 @@ class BackgroundServer:
         self.service: Optional[ReproService] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread = None
+        #: Exceptions the server thread died with.  Checked -- and re-raised
+        #: -- by :attr:`address` and ``__exit__``, so a server that failed
+        #: *after* startup (not just during it) cannot fail silently.
+        self._failure: list = []
+
+    def _check_failure(self) -> None:
+        if self._failure:
+            raise self._failure[0]
 
     @property
     def address(self) -> str:
+        self._check_failure()
         if self.service is None:
             raise RuntimeError("server is not running")
         return self.service.address
 
+    def drain(self, timeout: Optional[float] = None) -> dict:
+        """Drain the service from the caller's thread (tests exercise the
+        graceful-shutdown path without sending a signal)."""
+        self._check_failure()
+        if self.service is None or self._loop is None:
+            raise RuntimeError("server is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain(timeout), self._loop)
+        return future.result(self.startup_timeout)
+
     def __enter__(self) -> "BackgroundServer":
         import threading
         started = threading.Event()
-        failure: list = []
+        failure = self._failure
 
         def _run() -> None:
             loop = asyncio.new_event_loop()
@@ -798,8 +1017,7 @@ class BackgroundServer:
         self._thread.start()
         if not started.wait(self.startup_timeout):
             raise RuntimeError("service did not start in time")
-        if failure:
-            raise failure[0]
+        self._check_failure()
         return self
 
     def __exit__(self, *_exc_info) -> None:
@@ -807,3 +1025,7 @@ class BackgroundServer:
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
             self._thread.join(timeout=self.startup_timeout)
+        # A failure on the server thread -- including one raised during the
+        # post-loop close() -- must surface, not vanish with the thread.
+        if _exc_info[0] is None:
+            self._check_failure()

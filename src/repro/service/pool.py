@@ -28,11 +28,18 @@ from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPool
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults as _faults
 from repro.api.executor import RunRequest
 from repro.service import wire
 
 #: One warm configuration: (platform name, vendor_driver, cpus).
 WarmConfig = Tuple[str, bool, int]
+
+#: True when this process executes pool bodies inline (``workers=0``): the
+#: crash fault point then raises :data:`WorkerCrash` instead of killing the
+#: process, because the "worker" *is* the daemon.  Set by :func:`warm_worker`
+#: so forked pool workers always start from their initializer's value.
+_INLINE_POOL = False
 
 #: Per-process pool of pre-built machines, keyed by WarmConfig.  Only ever
 #: touched from the worker's single executing thread (process pool workers
@@ -91,12 +98,15 @@ def warm_kernel_plan(platforms: Sequence[str],
 
 
 def warm_worker(configs: Sequence[WarmConfig],
-                kernel_plan: Sequence[tuple]) -> None:
+                kernel_plan: Sequence[tuple],
+                inline: bool = False) -> None:
     """Pool initializer: pre-build machines and precompile kernels.
 
     Best-effort by design -- a platform or kernel that cannot warm surfaces
     its real error in the request that needs it, not at pool spawn.
     """
+    global _INLINE_POOL
+    _INLINE_POOL = inline
     from repro.compiler.cache import compile_source_cached, reset_stats
     from repro.platforms import platform_by_name
     for config in configs:
@@ -130,8 +140,23 @@ def warm_worker(configs: Sequence[WarmConfig],
 # worker process.
 
 
+def _inject_pool_faults() -> None:
+    """Chaos hooks shared by every pool request body."""
+    _faults.delay("pool.slow_worker")
+    if _faults.fires("pool.worker_crash"):
+        import multiprocessing
+        if _INLINE_POOL or multiprocessing.parent_process() is None:
+            # Only a genuine multiprocessing child may die for real; the
+            # inline pool (and any in-process caller) gets the exception
+            # the daemon maps to the same WorkerCrashed handling.
+            raise WorkerCrash("injected worker crash (inline pool)")
+        import os
+        os._exit(83)
+
+
 def execute_run_payload(payload: dict) -> dict:
     """The ``POST /run`` worker body: one RunRequest -> one Run export."""
+    _inject_pool_faults()
     from repro import telemetry as _telemetry
     from repro.api.session import Session
     from repro.workloads import registry
@@ -166,6 +191,7 @@ def execute_run_payload(payload: dict) -> dict:
 
 def execute_compare_payload(payload: dict) -> dict:
     """The ``POST /compare`` worker body: one multi-platform Comparison."""
+    _inject_pool_faults()
     from repro import telemetry as _telemetry
     from repro.api.session import Session
     from repro.api.spec import ProfileSpec
@@ -188,6 +214,7 @@ def execute_compare_payload(payload: dict) -> dict:
 
 def execute_analyze_payload(payload: dict) -> dict:
     """The ``POST /analyze`` worker body: the static-analysis report."""
+    _inject_pool_faults()
     from repro import telemetry as _telemetry
     from repro.analysis.report import build_analyze_report
     with _telemetry.capture() as captured:
@@ -241,7 +268,7 @@ class WarmPool:
                 max_workers=1, thread_name_prefix="repro-serve-inline")
             # Warm the daemon process itself: inline execution shares its
             # module-level machine pool and compile caches.
-            warm_worker(self.warm_configs, self.kernel_plan)
+            warm_worker(self.warm_configs, self.kernel_plan, inline=True)
         else:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers, initializer=warm_worker,

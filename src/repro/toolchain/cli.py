@@ -223,8 +223,14 @@ def _print_timings(args: argparse.Namespace, *runs) -> None:
 
 
 def _remote_client(args: argparse.Namespace):
-    from repro.service.client import ServiceClient
-    return ServiceClient(args.server)
+    from repro.service.client import RetryPolicy, ServiceClient
+    retries = int(getattr(args, "retries", 0) or 0)
+    policy = None
+    if retries > 0:
+        policy = RetryPolicy(
+            attempts=retries + 1,
+            deadline=getattr(args, "retry_deadline", None))
+    return ServiceClient(args.server, retry=policy)
 
 
 def _remote_request(args: argparse.Namespace, spec: ProfileSpec) -> dict:
@@ -485,7 +491,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # file; it never feeds modelled time or cached bytes.
     started = time.monotonic()  # repro-lint: allow[wall-clock] -- trajectory reporting only
     result = sweep(plan, workers=args.workers, store=store,
-                   bypass_cache=args.bypass_cache)
+                   bypass_cache=args.bypass_cache, resume=args.resume)
     elapsed = time.monotonic() - started  # repro-lint: allow[wall-clock] -- trajectory reporting only
     doc = result.write_trajectory(args.out, elapsed_seconds=elapsed)
     if args.json:
@@ -493,6 +499,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     else:
         print(result.summary())
         print(f"wrote {args.out}")
+        for outcome in result.failed_cells:
+            failure = outcome.failure
+            print(f"cell {outcome.cell.platform}/{outcome.cell.workload} "
+                  f"failed: {failure.get('type')}: {failure.get('message')}",
+                  file=sys.stderr)
+    if result.failed_cells:
+        return 1
     return 1 if any(outcome.errors for outcome in result.outcomes) else 0
 
 
@@ -534,6 +547,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         warm_platforms=tuple(args.warm_platforms),
         warm_cpus=tuple(args.warm_cpus),
         warm_kernels=not args.no_warm_kernels,
+        drain_timeout=args.drain_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     serve(config, announce=lambda address: print(
         f"repro serve listening on {address}", flush=True))
@@ -603,6 +619,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="send the request to a `repro serve` daemon "
                               "at URL instead of profiling in process "
                               "(same output, minus wall-clock timings)")
+        sub.add_argument("--retries", type=int, default=2, metavar="N",
+                         help="retry transient --server failures (429/5xx, "
+                              "unreachable) up to N times with exponential "
+                              "backoff, honoring Retry-After; 0 disables "
+                              "(default 2)")
+        sub.add_argument("--retry-deadline", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="give up once cumulative --server retry "
+                              "backoff would exceed this budget "
+                              "(default 30)")
 
     def add_trace(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--trace", default=None, metavar="PATH",
@@ -742,6 +768,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--bypass-cache", action="store_true",
                        help="execute every cell, refilling the cache, "
                             "without consulting it")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip cells an interrupted identical sweep "
+                            "already journaled as complete (their results "
+                            "are served from the cache); failed cells are "
+                            "retried")
     sweep.add_argument("--json", action="store_true",
                        help="print the trajectory document instead of the "
                             "summary line")
@@ -792,6 +823,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-warm-kernels", action="store_true",
                        help="skip precompiling registry kernels at worker "
                             "spawn")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="graceful-drain budget on SIGTERM/SIGINT: "
+                            "seconds in-flight requests get to finish "
+                            "before a clean 503 (default: 10)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="worker crashes within the breaker window that "
+                            "switch the daemon to degraded cache-only mode "
+                            "(default: 3)")
+    serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       help="seconds a tripped crash-loop breaker waits "
+                            "before probing with one request (default: 5)")
     add_trace(serve)
     serve.set_defaults(func=cmd_serve)
 

@@ -349,11 +349,16 @@ def test_aliasing_descriptors_get_distinct_modules_and_targets():
 def test_pool_warmup_does_not_inflate_cache_stats():
     """Regression: pool initializers reset the tallies after warmup, so
     cache_stats() attributes only request-driven compiles."""
-    from repro.api.executor import _warm_worker
+    from repro.api import executor
     from repro.compiler.cache import cache_stats, clear_memory_cache
     clear_memory_cache()
     source = "long kernel(long n) { return n + 1; }\n"
-    _warm_worker([("SpacemiT X60", source, "warm.c", True)])
+    try:
+        executor._warm_worker([("SpacemiT X60", source, "warm.c", True)])
+    finally:
+        # The initializer marks the process as a pool worker; this test
+        # runs it in the main process, so undo the marking.
+        executor._IN_WORKER_PROCESS = False
     assert cache_stats() == {"hits": 0, "misses": 0, "disk_hits": 0}
 
 

@@ -1,0 +1,424 @@
+"""The resilience layer: client retries, circuit breaker, graceful drain.
+
+Covers the three pieces individually (RetryPolicy math, CircuitBreaker
+state machine under a fake clock, BackgroundServer failure surfacing) and
+the daemon's shutdown semantics end to end: an in-flight request either
+completes normally or receives a clean 503 ``ShuttingDown`` -- never a hung
+connection -- under both a direct drain and a real SIGTERM.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
+from repro.service.daemon import BackgroundServer, ServiceConfig
+from repro.service.resilience import (
+    ALLOW,
+    PROBE,
+    REFUSE_OPEN,
+    REFUSE_QUARANTINED,
+    CircuitBreaker,
+)
+
+_COUNTING = {"events": ["cycles", "instructions"], "analyses": ["stat"]}
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.install(None)
+    yield
+    faults.install(None)
+    faults.reset()
+
+
+# -- RetryPolicy --------------------------------------------------------------------------
+
+
+def _error(status, retry_after=None):
+    payload = {"error": {"type": "X", "message": "m"}}
+    if retry_after is not None:
+        payload["error"]["retry_after"] = retry_after
+    return ServiceError(status, payload)
+
+
+def test_retry_policy_retryable_statuses():
+    policy = RetryPolicy()
+    assert all(policy.retryable(_error(status))
+               for status in (0, 429, 500, 502, 503, 504))
+    assert not any(policy.retryable(_error(status))
+                   for status in (400, 403, 404, 413))
+    assert not RetryPolicy(retry_unreachable=False).retryable(_error(0))
+
+
+def test_retry_policy_delay_is_deterministic_exponential():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+    assert [policy.delay(n) for n in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+
+def test_retry_policy_honors_retry_after_and_caps_it():
+    policy = RetryPolicy(base_delay=0.1, max_delay=5.0)
+    assert policy.delay(0, retry_after=2.5) == 2.5
+    assert policy.delay(0, retry_after=60.0) == 5.0
+    # A hint smaller than the planned backoff never shortens it.
+    assert policy.delay(3, retry_after=0.01) == pytest.approx(0.8)
+
+
+def test_client_retries_transient_errors_then_succeeds():
+    replies = [_error(503), _error(503), "ok"]
+    slept = []
+    client = ServiceClient("http://example.invalid",
+                           retry=RetryPolicy(attempts=3, base_delay=0.05),
+                           sleep=slept.append)
+
+    def fake_once(method, path, body=None, headers=None):
+        reply = replies.pop(0)
+        if isinstance(reply, ServiceError):
+            raise reply
+        return reply
+
+    client._request_once = fake_once
+    assert client._request("GET", "/healthz") == "ok"
+    assert slept == [0.05, 0.1]
+
+
+def test_client_retry_budget_is_total_attempts():
+    calls = []
+    client = ServiceClient("http://example.invalid",
+                           retry=RetryPolicy(attempts=3, base_delay=0.01),
+                           sleep=lambda _s: None)
+
+    def always_503(method, path, body=None, headers=None):
+        calls.append(path)
+        raise _error(503)
+
+    client._request_once = always_503
+    with pytest.raises(ServiceError):
+        client._request("POST", "/run")
+    assert len(calls) == 3
+
+
+def test_client_never_retries_client_errors():
+    calls = []
+    client = ServiceClient("http://example.invalid",
+                           retry=RetryPolicy(attempts=5),
+                           sleep=lambda _s: None)
+
+    def bad_request(method, path, body=None, headers=None):
+        calls.append(path)
+        raise _error(400)
+
+    client._request_once = bad_request
+    with pytest.raises(ServiceError):
+        client._request("POST", "/run")
+    assert len(calls) == 1
+
+
+def test_client_retry_respects_the_backoff_deadline():
+    calls = []
+    client = ServiceClient(
+        "http://example.invalid",
+        retry=RetryPolicy(attempts=10, base_delay=1.0, multiplier=2.0,
+                          deadline=3.0),
+        sleep=lambda _s: None)
+
+    def always_503(method, path, body=None, headers=None):
+        calls.append(path)
+        raise _error(503)
+
+    client._request_once = always_503
+    with pytest.raises(ServiceError):
+        client._request("POST", "/run")
+    # Planned backoff 1 + 2 = 3; the next delay (4) would exceed the
+    # deadline, so the fourth attempt never happens.
+    assert len(calls) == 3
+
+
+def test_client_honors_retry_after_hint():
+    replies = [_error(429, retry_after=0.7), "ok"]
+    slept = []
+    client = ServiceClient("http://example.invalid",
+                           retry=RetryPolicy(attempts=2, base_delay=0.05),
+                           sleep=slept.append)
+
+    def fake_once(method, path, body=None, headers=None):
+        reply = replies.pop(0)
+        if isinstance(reply, ServiceError):
+            raise reply
+        return reply
+
+    client._request_once = fake_once
+    assert client._request("POST", "/run") == "ok"
+    assert slept == [0.7]
+
+
+def test_client_without_policy_fails_immediately():
+    calls = []
+    client = ServiceClient("http://example.invalid")
+
+    def always_503(method, path, body=None, headers=None):
+        calls.append(path)
+        raise _error(503)
+
+    client._request_once = always_503
+    with pytest.raises(ServiceError):
+        client._request("POST", "/run")
+    assert len(calls) == 1
+
+
+# -- CircuitBreaker -----------------------------------------------------------------------
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _breaker(**kwargs):
+    clock = _Clock()
+    kwargs.setdefault("threshold", 3)
+    kwargs.setdefault("window", 30.0)
+    kwargs.setdefault("cooldown", 5.0)
+    kwargs.setdefault("quarantine_after", 2)
+    return CircuitBreaker(clock=clock, **kwargs), clock
+
+
+def test_breaker_opens_after_threshold_crashes_in_window():
+    breaker, clock = _breaker()
+    for n in range(3):
+        assert breaker.state() == "closed"
+        breaker.record_crash(f"key-{n}")
+        clock.now += 1.0
+    assert breaker.state() == "open"
+    verdict, retry_after = breaker.admit("key-9")
+    assert verdict == REFUSE_OPEN
+    assert 0 < retry_after <= 5.0
+
+
+def test_breaker_ignores_crashes_outside_the_window():
+    breaker, clock = _breaker(window=10.0)
+    breaker.record_crash("a")
+    clock.now = 11.0
+    breaker.record_crash("b")
+    clock.now = 12.0
+    breaker.record_crash("c")
+    assert breaker.state() == "closed", "old crashes age out"
+
+
+def test_breaker_half_open_admits_exactly_one_probe():
+    breaker, clock = _breaker()
+    for n in range(3):
+        breaker.record_crash(f"k{n}")
+    clock.now = 6.0  # past cooldown
+    assert breaker.state() == "half_open"
+    assert breaker.admit("p1")[0] == PROBE
+    assert breaker.admit("p2")[0] == REFUSE_OPEN, "one probe at a time"
+
+
+def test_breaker_probe_success_closes_and_clears():
+    breaker, clock = _breaker()
+    for n in range(3):
+        breaker.record_crash(f"k{n}")
+    clock.now = 6.0
+    assert breaker.admit("p")[0] == PROBE
+    breaker.record_success("p", probe=True)
+    assert breaker.state() == "closed"
+    assert breaker.admit("anything")[0] == ALLOW
+    assert breaker.to_dict()["crashes_in_window"] == 0
+
+
+def test_breaker_probe_crash_reopens_for_a_fresh_cooldown():
+    breaker, clock = _breaker()
+    for n in range(3):
+        breaker.record_crash(f"k{n}")
+    clock.now = 6.0
+    assert breaker.admit("p")[0] == PROBE
+    breaker.record_crash("p", probe=True)
+    assert breaker.state() == "open"
+    clock.now = 10.0  # 4s into the new cooldown
+    assert breaker.state() == "open"
+    clock.now = 11.5
+    assert breaker.state() == "half_open"
+    assert breaker.opens == 2
+
+
+def test_breaker_aborted_probe_allows_the_next_probe():
+    breaker, clock = _breaker()
+    for n in range(3):
+        breaker.record_crash(f"k{n}")
+    clock.now = 6.0
+    assert breaker.admit("p1")[0] == PROBE
+    breaker.abort_probe()  # timeout/validation error: neither success nor crash
+    assert breaker.admit("p2")[0] == PROBE
+
+
+def test_breaker_quarantines_repeat_offenders():
+    breaker, _clock = _breaker(threshold=100)  # keep the breaker closed
+    breaker.record_crash("poison")
+    assert breaker.admit("poison")[0] == ALLOW
+    breaker.record_crash("poison")
+    assert breaker.admit("poison")[0] == REFUSE_QUARANTINED
+    assert breaker.admit("innocent")[0] == ALLOW
+    assert breaker.to_dict()["quarantined"] == ["poison"]
+
+
+def test_breaker_success_resets_a_keys_crash_count():
+    breaker, _clock = _breaker(threshold=100)
+    breaker.record_crash("flaky")
+    breaker.record_success("flaky")
+    breaker.record_crash("flaky")
+    assert breaker.admit("flaky")[0] == ALLOW, "count reset by the success"
+
+
+def test_breaker_requires_an_explicit_clock():
+    with pytest.raises(ValueError, match="clock"):
+        CircuitBreaker()
+
+
+# -- BackgroundServer failure surfacing ---------------------------------------------------
+
+
+def test_background_server_raises_startup_failures():
+    # Binding an unroutable address fails inside start(); the context
+    # manager must re-raise instead of returning a dead server.
+    config = ServiceConfig(host="203.0.113.1", port=0, workers=0,
+                           warm_kernels=False)
+    with pytest.raises(OSError):
+        with BackgroundServer(config):
+            pass  # pragma: no cover
+
+
+def test_background_server_surfaces_late_failures_on_exit():
+    config = ServiceConfig(port=0, workers=0, warm_kernels=False)
+    server = BackgroundServer(config)
+    with pytest.raises(RuntimeError, match="close blew up"):
+        with server:
+            async def exploding_close(drain_timeout=None):
+                raise RuntimeError("close blew up")
+            server.service.close = exploding_close
+    assert server._failure, "the late failure was captured"
+
+
+# -- daemon shutdown semantics ------------------------------------------------------------
+
+
+def _get_healthz(address):
+    with urllib.request.urlopen(address + "/healthz", timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _drain_config(**overrides):
+    settings = dict(port=0, workers=0, warm_kernels=False,
+                    drain_timeout=0.5)
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+def _start_request(address, results):
+    def body():
+        try:
+            client = ServiceClient(address, timeout=30)
+            results.append(("ok", client.run(
+                {"platform": "x60", "workload": "memset",
+                 "params": {"n": 64}, "spec": dict(_COUNTING)},
+                bypass_cache=True)))
+        except ServiceError as error:
+            results.append(("error", error))
+
+    thread = threading.Thread(target=body, daemon=True)
+    thread.start()
+    return thread
+
+
+def test_drain_lets_in_flight_requests_complete():
+    faults.install("pool.slow_worker:ms=200:times=1")
+    with BackgroundServer(_drain_config(drain_timeout=10.0)) as server:
+        results = []
+        thread = _start_request(server.address, results)
+        time.sleep(0.05)  # let the request reach the pool
+        summary = server.drain()
+        thread.join(timeout=30)
+        assert results and results[0][0] == "ok", \
+            "the in-flight request completed during the drain"
+        assert summary["aborted_in_flight"] is False
+
+
+def test_drain_rejects_new_requests_with_shutting_down():
+    with BackgroundServer(_drain_config()) as server:
+        address = server.address
+        server.drain()
+        client = ServiceClient(address)
+        with pytest.raises(ServiceError) as excinfo:
+            client.run({"platform": "x60", "workload": "memset",
+                        "params": {"n": 64}, "spec": dict(_COUNTING)})
+        # Either the listener is already closed (Unreachable) or admission
+        # answers a clean 503 ShuttingDown; both are clean failures.
+        assert excinfo.value.status in (0, 503)
+        if excinfo.value.status == 503:
+            assert excinfo.value.kind == "ShuttingDown"
+
+
+def test_drain_past_deadline_answers_clean_503():
+    faults.install("pool.slow_worker:ms=5000:times=1")
+    with BackgroundServer(_drain_config(drain_timeout=0.2)) as server:
+        results = []
+        thread = _start_request(server.address, results)
+        time.sleep(0.05)
+        summary = server.drain()
+        assert summary["aborted_in_flight"] is True
+        thread.join(timeout=30)
+        assert results, "the client got a response, not a hung connection"
+        kind, value = results[0]
+        assert kind == "error"
+        assert value.status == 503
+        assert value.kind == "ShuttingDown"
+        assert value.retry_after is not None
+
+
+def test_drain_reports_degraded_status_in_healthz():
+    with BackgroundServer(_drain_config()) as server:
+        assert _get_healthz(server.address)["status"] == "ok"
+        assert "breaker" in _get_healthz(server.address)
+        server.drain()
+        # The listener is closed after a drain; status is reported by the
+        # service object (a real probe would see connection refused).
+        assert server.service._healthz()["status"] == "draining"
+
+
+def test_sigterm_drains_and_exits_cleanly(tmp_path):
+    """`repro serve` under a real SIGTERM: the daemon announces, serves,
+    and exits 0 through the graceful-drain path."""
+    script = (
+        "from repro.toolchain.cli import main\n"
+        "import sys\n"
+        "sys.exit(main(['serve', '--port', '0', '--workers', '0',\n"
+        "               '--no-warm-kernels', '--drain-timeout', '2']))\n")
+    env = dict(os.environ,
+               PYTHONPATH=os.pathsep.join(
+                   [os.path.join(os.getcwd(), "src"),
+                    os.environ.get("PYTHONPATH", "")]).rstrip(os.pathsep))
+    process = subprocess.Popen(
+        [sys.executable, "-c", script], stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, env=env, cwd=str(tmp_path))
+    try:
+        line = process.stdout.readline()
+        assert "listening on" in line
+        address = line.strip().rsplit(" ", 1)[-1]
+        assert _get_healthz(address)["status"] == "ok"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)

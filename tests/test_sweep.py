@@ -80,11 +80,13 @@ def test_canonical_cell_rejects_unknown_workload():
 def test_second_sweep_serves_every_cell_from_cache(tmp_path):
     plan = build_plan(["x60", "u74"], ["memset"], cpus=(1,))
     first = sweep(plan, workers=0, store=fresh_store(tmp_path))
-    assert first.counts() == {"hit": 0, "executed": 2, "deduplicated": 0}
+    assert first.counts() == {"hit": 0, "executed": 2, "deduplicated": 0,
+                              "resumed": 0, "error": 0}
     assert not first.all_from_cache
 
     second = sweep(plan, workers=0, store=fresh_store(tmp_path))
-    assert second.counts() == {"hit": 2, "executed": 0, "deduplicated": 0}
+    assert second.counts() == {"hit": 2, "executed": 0, "deduplicated": 0,
+                               "resumed": 0, "error": 0}
     assert second.all_from_cache
     for cold, warm in zip(first.outcomes, second.outcomes):
         assert cold.cell.key == warm.cell.key
@@ -137,7 +139,8 @@ def test_corrupted_result_entry_silently_reexecutes(tmp_path):
 
     store = fresh_store(tmp_path)
     second = sweep(plan, workers=0, store=store)
-    assert second.counts() == {"hit": 0, "executed": 1, "deduplicated": 0}
+    assert second.counts() == {"hit": 0, "executed": 1, "deduplicated": 0,
+                               "resumed": 0, "error": 0}
     assert second.outcomes[0].body() == first.outcomes[0].body()
     assert store.integrity_failures == 1
     # The re-execution re-filled the entry.
@@ -198,7 +201,8 @@ def test_trajectory_document_schema(tmp_path):
     assert json.loads(out.read_text()) == doc
     assert doc["schema"] == TRAJECTORY_SCHEMA
     assert doc["totals"] == {"cells": 2, "hits": 0, "executed": 2,
-                             "deduplicated": 0, "with_errors": 0}
+                             "deduplicated": 0, "resumed": 0, "failed": 0,
+                             "with_errors": 0}
     assert doc["elapsed_seconds"] == 1.25
     assert doc["cache"]["writes"] >= 2
     for cell in doc["cells"]:
